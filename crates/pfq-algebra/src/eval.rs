@@ -1,0 +1,488 @@
+//! Expression evaluation: deterministic, exact-enumeration, and sampling.
+
+use crate::repair_key::{enumerate_repairs, sample_repair};
+use crate::{AlgebraError, Expr, Pred};
+use pfq_data::{Database, Relation, Schema, Tuple, Value};
+use pfq_num::Distribution;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Evaluates a deterministic expression; fails with
+/// [`AlgebraError::RepairKeyNotAllowed`] if the expression contains a
+/// `repair-key`.
+pub fn eval(expr: &Expr, db: &Database) -> Result<Relation, AlgebraError> {
+    match expr {
+        Expr::Rel(name) => db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AlgebraError::MissingRelation(name.clone())),
+        Expr::Const(rel) => Ok(rel.clone()),
+        Expr::Select(pred, e) => select(pred, &eval(e, db)?),
+        Expr::Project(cols, e) => project(cols, &eval(e, db)?),
+        Expr::Rename(pairs, e) => rename(pairs, &eval(e, db)?),
+        Expr::Join(a, b) => Ok(join(&eval(a, db)?, &eval(b, db)?)),
+        Expr::Product(a, b) => product(&eval(a, db)?, &eval(b, db)?),
+        Expr::Union(a, b) => set_op(&eval(a, db)?, &eval(b, db)?, Relation::union),
+        Expr::Difference(a, b) => set_op(&eval(a, db)?, &eval(b, db)?, Relation::difference),
+        Expr::RepairKey { .. } => Err(AlgebraError::RepairKeyNotAllowed),
+        Expr::Let { name, value, body } => {
+            let v = eval(value, db)?;
+            eval(body, &db.clone().with(name.clone(), v))
+        }
+    }
+}
+
+/// Exactly enumerates the distribution over result relations
+/// (possible worlds) of `expr` on `db`.
+///
+/// `limit` bounds the number of worlds carried at any point; exceeding it
+/// aborts with [`AlgebraError::WorldLimitExceeded`] rather than silently
+/// truncating the distribution.
+pub fn enumerate(
+    expr: &Expr,
+    db: &Database,
+    limit: Option<usize>,
+) -> Result<Distribution<Relation>, AlgebraError> {
+    let out = match expr {
+        Expr::Rel(_) | Expr::Const(_) => Distribution::singleton(eval(expr, db)?),
+        Expr::Select(pred, e) => enumerate(e, db, limit)?.try_map(|r| select(pred, &r))?,
+        Expr::Project(cols, e) => enumerate(e, db, limit)?.try_map(|r| project(cols, &r))?,
+        Expr::Rename(pairs, e) => enumerate(e, db, limit)?.try_map(|r| rename(pairs, &r))?,
+        Expr::Join(a, b) => combine(expr, db, limit, a, b, |x, y| Ok(join(x, y)))?,
+        Expr::Product(a, b) => combine(expr, db, limit, a, b, product)?,
+        Expr::Union(a, b) => combine(expr, db, limit, a, b, |x, y| set_op(x, y, Relation::union))?,
+        Expr::Difference(a, b) => combine(expr, db, limit, a, b, |x, y| {
+            set_op(x, y, Relation::difference)
+        })?,
+        Expr::RepairKey { key, weight, input } => {
+            let mut out = Distribution::new();
+            for (world, p) in enumerate(input, db, limit)?.into_iter() {
+                let repairs = enumerate_repairs(&world, key, weight.as_deref(), limit)?;
+                out.merge(repairs.scale(&p));
+            }
+            out
+        }
+        Expr::Let { name, value, body } => {
+            // One `value` world is fixed for the whole `body` evaluation:
+            // this is exactly what distinguishes `let` from inlining.
+            let mut out = Distribution::new();
+            for (bound, p) in enumerate(value, db, limit)?.into_iter() {
+                let scoped = db.clone().with(name.clone(), bound);
+                out.merge(enumerate(body, &scoped, limit)?.scale(&p));
+            }
+            out
+        }
+    };
+    if let Some(l) = limit {
+        if out.support_size() > l {
+            return Err(AlgebraError::WorldLimitExceeded { limit: l });
+        }
+    }
+    Ok(out)
+}
+
+/// Samples one possible world of `expr` on `db`.
+pub fn sample<R: Rng + ?Sized>(
+    expr: &Expr,
+    db: &Database,
+    rng: &mut R,
+) -> Result<Relation, AlgebraError> {
+    match expr {
+        Expr::Rel(_) | Expr::Const(_) => eval(expr, db),
+        Expr::Select(pred, e) => select(pred, &sample(e, db, rng)?),
+        Expr::Project(cols, e) => project(cols, &sample(e, db, rng)?),
+        Expr::Rename(pairs, e) => rename(pairs, &sample(e, db, rng)?),
+        Expr::Join(a, b) => Ok(join(&sample(a, db, rng)?, &sample(b, db, rng)?)),
+        Expr::Product(a, b) => product(&sample(a, db, rng)?, &sample(b, db, rng)?),
+        Expr::Union(a, b) => set_op(&sample(a, db, rng)?, &sample(b, db, rng)?, Relation::union),
+        Expr::Difference(a, b) => set_op(
+            &sample(a, db, rng)?,
+            &sample(b, db, rng)?,
+            Relation::difference,
+        ),
+        Expr::RepairKey { key, weight, input } => {
+            let world = sample(input, db, rng)?;
+            sample_repair(&world, key, weight.as_deref(), rng)
+        }
+        Expr::Let { name, value, body } => {
+            let bound = sample(value, db, rng)?;
+            sample(body, &db.clone().with(name.clone(), bound), rng)
+        }
+    }
+}
+
+fn combine(
+    _expr: &Expr,
+    db: &Database,
+    limit: Option<usize>,
+    a: &Expr,
+    b: &Expr,
+    op: impl Fn(&Relation, &Relation) -> Result<Relation, AlgebraError>,
+) -> Result<Distribution<Relation>, AlgebraError> {
+    let da = enumerate(a, db, limit)?;
+    let db_ = enumerate(b, db, limit)?;
+    let mut out = Distribution::new();
+    for (ra, pa) in da.iter() {
+        for (rb, pb) in db_.iter() {
+            out.add(op(ra, rb)?, pa.mul_ref(pb));
+        }
+    }
+    Ok(out)
+}
+
+fn select(pred: &Pred, rel: &Relation) -> Result<Relation, AlgebraError> {
+    let mut out = Relation::empty(rel.schema().clone());
+    for t in rel.iter() {
+        if pred.eval(rel.schema(), t)? {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+fn project(cols: &[String], rel: &Relation) -> Result<Relation, AlgebraError> {
+    let idx = rel.schema().indices_of(cols).map_err(|_| {
+        let col = cols
+            .iter()
+            .find(|c| !rel.schema().contains(c))
+            .cloned()
+            .unwrap_or_default();
+        AlgebraError::MissingColumn {
+            column: col,
+            schema: rel.schema().to_string(),
+        }
+    })?;
+    let mut out = Relation::empty(Schema::new(cols.to_vec()));
+    for t in rel.iter() {
+        out.insert(t.project(&idx));
+    }
+    Ok(out)
+}
+
+fn rename(pairs: &[(String, String)], rel: &Relation) -> Result<Relation, AlgebraError> {
+    for (old, _) in pairs {
+        if !rel.schema().contains(old) {
+            return Err(AlgebraError::MissingColumn {
+                column: old.clone(),
+                schema: rel.schema().to_string(),
+            });
+        }
+    }
+    let cols: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| {
+            pairs
+                .iter()
+                .find(|(old, _)| old == c)
+                .map(|(_, new)| new.clone())
+                .unwrap_or_else(|| c.clone())
+        })
+        .collect();
+    Ok(rel.with_schema(Schema::new(cols)))
+}
+
+/// Natural join on shared column names (hash join on the key).
+fn join(left: &Relation, right: &Relation) -> Relation {
+    let (ls, rs) = (left.schema(), right.schema());
+    let common = ls.common_columns(rs);
+    let l_key: Vec<usize> = common.iter().map(|c| ls.index_of(c).unwrap()).collect();
+    let r_key: Vec<usize> = common.iter().map(|c| rs.index_of(c).unwrap()).collect();
+    let r_rest: Vec<usize> = (0..rs.arity()).filter(|i| !r_key.contains(i)).collect();
+
+    let mut index: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+    for t in right.iter() {
+        index
+            .entry(r_key.iter().map(|&i| t.get(i).clone()).collect())
+            .or_default()
+            .push(t);
+    }
+
+    let mut out = Relation::empty(ls.join_schema(rs));
+    for lt in left.iter() {
+        let key: Vec<Value> = l_key.iter().map(|&i| lt.get(i).clone()).collect();
+        if let Some(matches) = index.get(&key) {
+            for rt in matches {
+                out.insert(lt.concat(&rt.project(&r_rest)));
+            }
+        }
+    }
+    out
+}
+
+fn product(left: &Relation, right: &Relation) -> Result<Relation, AlgebraError> {
+    if !left.schema().common_columns(right.schema()).is_empty() {
+        return Err(AlgebraError::SchemaMismatch {
+            context: "product (operands share columns)",
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        });
+    }
+    Ok(join(left, right)) // with disjoint schemas the natural join is ×
+}
+
+fn set_op(
+    left: &Relation,
+    right: &Relation,
+    op: impl Fn(&Relation, &Relation) -> Relation,
+) -> Result<Relation, AlgebraError> {
+    if left.schema() != right.schema() {
+        return Err(AlgebraError::SchemaMismatch {
+            context: "set operation",
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        });
+    }
+    Ok(op(left, right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_data::tuple;
+    use pfq_num::Ratio;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn walk_db() -> Database {
+        // The Example 3.3 shape: C holds the walker, E the weighted edges.
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 2, Value::frac(1, 2)],
+                tuple![1, 3, Value::frac(1, 2)],
+                tuple![2, 1, 1],
+                tuple![3, 1, 1],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        Database::new().with("E", e).with("C", c)
+    }
+
+    /// The random-walk kernel of Example 3.3.
+    fn walk_kernel() -> Expr {
+        Expr::rel("C")
+            .join(Expr::rel("E"))
+            .repair_key(["i"], Some("p"))
+            .project(["j"])
+            .rename([("j", "i")])
+    }
+
+    #[test]
+    fn deterministic_ops() {
+        let db = walk_db();
+        let joined = eval(&Expr::rel("C").join(Expr::rel("E")), &db).unwrap();
+        assert_eq!(joined.len(), 2); // edges out of node 1
+        let projected = eval(&Expr::rel("E").project(["j"]), &db).unwrap();
+        assert_eq!(projected.len(), 3); // j ∈ {1, 2, 3}
+        let selected = eval(&Expr::rel("E").select(Pred::col_eq("i", 1)), &db).unwrap();
+        assert_eq!(selected.len(), 2);
+        let renamed = eval(&Expr::rel("C").rename([("i", "x")]), &db).unwrap();
+        assert_eq!(renamed.schema(), &Schema::new(["x"]));
+    }
+
+    #[test]
+    fn union_difference() {
+        let db = walk_db();
+        let i = Expr::rel("E").project(["i"]);
+        let j = Expr::rel("E").project(["j"]).rename([("j", "i")]);
+        let nodes = eval(&i.clone().union(j.clone()), &db).unwrap();
+        assert_eq!(nodes.len(), 3);
+        let only_i = eval(&i.difference(j), &db).unwrap();
+        assert!(only_i.is_empty()); // every source also appears as target
+    }
+
+    #[test]
+    fn deterministic_eval_rejects_repair_key() {
+        let db = walk_db();
+        assert_eq!(
+            eval(&walk_kernel(), &db),
+            Err(AlgebraError::RepairKeyNotAllowed)
+        );
+    }
+
+    #[test]
+    fn enumerate_walk_step() {
+        let db = walk_db();
+        let worlds = enumerate(&walk_kernel(), &db, None).unwrap();
+        assert!(worlds.is_proper());
+        assert_eq!(worlds.support_size(), 2);
+        let at2 = Relation::from_rows(Schema::new(["i"]), [tuple![2]]);
+        let at3 = Relation::from_rows(Schema::new(["i"]), [tuple![3]]);
+        assert_eq!(worlds.mass(&at2), Ratio::new(1, 2));
+        assert_eq!(worlds.mass(&at3), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn enumerate_deterministic_is_singleton() {
+        let db = walk_db();
+        let worlds = enumerate(&Expr::rel("E").project(["i"]), &db, None).unwrap();
+        assert_eq!(worlds.support_size(), 1);
+        assert!(worlds.is_proper());
+    }
+
+    #[test]
+    fn enumerate_merges_identical_worlds() {
+        // Two coin flips unioned: worlds {1}, {1,2}, {2} with merge on {1,2}.
+        let coin = Relation::from_rows(Schema::new(["k", "v"]), [tuple![0, 1], tuple![0, 2]]);
+        let db = Database::new().with("R", coin);
+        let e = Expr::rel("R")
+            .repair_key(["k"], None)
+            .project(["v"])
+            .union(Expr::rel("R").repair_key(["k"], None).project(["v"]));
+        let worlds = enumerate(&e, &db, None).unwrap();
+        assert!(worlds.is_proper());
+        assert_eq!(worlds.support_size(), 3);
+        let both = Relation::from_rows(Schema::new(["v"]), [tuple![1], tuple![2]]);
+        assert_eq!(worlds.mass(&both), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let db = walk_db();
+        assert!(matches!(
+            enumerate(&walk_kernel(), &db, Some(1)),
+            Err(AlgebraError::WorldLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn sample_matches_enumeration() {
+        let db = walk_db();
+        let worlds = enumerate(&walk_kernel(), &db, None).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 10_000;
+        let mut hits = 0usize;
+        let at2 = Relation::from_rows(Schema::new(["i"]), [tuple![2]]);
+        for _ in 0..n {
+            if sample(&walk_kernel(), &db, &mut rng).unwrap() == at2 {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / n as f64;
+        assert!((freq - worlds.mass(&at2).to_f64()).abs() < 0.02);
+    }
+
+    #[test]
+    fn nested_repair_key() {
+        // repair-key over a result that itself came from repair-key.
+        let r = Relation::from_rows(
+            Schema::new(["k", "v"]),
+            [tuple![0, 1], tuple![0, 2], tuple![1, 3], tuple![1, 4]],
+        );
+        let db = Database::new().with("R", r);
+        let inner = Expr::rel("R").repair_key(["k"], None); // 4 worlds, 2 tuples each
+        let outer = inner.repair_key([] as [&str; 0], None); // pick 1 of the 2
+        let worlds = enumerate(&outer, &db, None).unwrap();
+        assert!(worlds.is_proper());
+        // Outcomes: {(0,v)} each 1/4, {(1,v)} each 1/4 → 4 distinct singletons.
+        assert_eq!(worlds.support_size(), 4);
+        for (_, p) in worlds.iter() {
+            assert_eq!(p, &Ratio::new(1, 4));
+        }
+    }
+
+    #[test]
+    fn let_shares_one_probabilistic_outcome() {
+        // Flip one coin, then join it with itself: always equal, so the
+        // result has exactly one row — whereas inlining the repair-key
+        // twice flips two independent coins.
+        let coin = Relation::from_rows(Schema::new(["k", "v"]), [tuple![0, 1], tuple![0, 2]]);
+        let db = Database::new().with("R", coin);
+        let pick = Expr::rel("R").repair_key(["k"], None).project(["v"]);
+
+        let shared = pick.clone().bind(
+            "tmp",
+            Expr::rel("tmp").join(Expr::rel("tmp").rename([("v", "w")])),
+        );
+        let worlds = enumerate(&shared, &db, None).unwrap();
+        assert!(worlds.is_proper());
+        assert_eq!(worlds.support_size(), 2); // (1,1) or (2,2)
+        for (rel, p) in worlds.iter() {
+            assert_eq!(rel.len(), 1);
+            let t = rel.iter().next().unwrap();
+            assert_eq!(t.get(0), t.get(1), "shared binding must correlate");
+            assert_eq!(p, &Ratio::new(1, 2));
+        }
+
+        // The inlined version: two independent picks, 4 combinations.
+        let indep = pick.clone().join(pick.rename([("v", "w")]));
+        let worlds = enumerate(&indep, &db, None).unwrap();
+        assert_eq!(worlds.support_size(), 4);
+        let mismatched = worlds.probability_that(|rel| rel.iter().any(|t| t.get(0) != t.get(1)));
+        assert_eq!(mismatched, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn let_scoping_and_schema() {
+        let coin = Relation::from_rows(Schema::new(["k", "v"]), [tuple![0, 1], tuple![0, 2]]);
+        let db = Database::new().with("R", coin);
+        let e = Expr::rel("R")
+            .repair_key(["k"], None)
+            .project(["v"])
+            .bind("tmp", Expr::rel("tmp"));
+        assert_eq!(e.schema(&db).unwrap(), Schema::new(["v"]));
+        assert!(e.is_probabilistic());
+        // `tmp` is not an input relation; `R` is.
+        assert_eq!(e.input_relations(), vec!["R".to_string()]);
+        // Deterministic value binds through plain eval too.
+        let det = Expr::rel("R").bind("tmp", Expr::rel("tmp").project(["v"]));
+        assert_eq!(eval(&det, &db).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn let_binding_shadows_base_relation() {
+        let a = Relation::from_rows(Schema::new(["x"]), [tuple![1]]);
+        let b = Relation::from_rows(Schema::new(["x"]), [tuple![2], tuple![3]]);
+        let db = Database::new().with("A", a).with("B", b);
+        // Shadow A with B's contents inside the body.
+        let e = Expr::rel("B").bind("A", Expr::rel("A"));
+        let out = eval(&e, &db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn let_sample_is_consistent() {
+        let coin = Relation::from_rows(Schema::new(["k", "v"]), [tuple![0, 1], tuple![0, 2]]);
+        let db = Database::new().with("R", coin);
+        let pick = Expr::rel("R").repair_key(["k"], None).project(["v"]);
+        let shared = pick.bind(
+            "tmp",
+            Expr::rel("tmp").join(Expr::rel("tmp").rename([("v", "w")])),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..50 {
+            let rel = sample(&shared, &db, &mut rng).unwrap();
+            assert_eq!(rel.len(), 1);
+            let t = rel.iter().next().unwrap();
+            assert_eq!(t.get(0), t.get(1));
+        }
+    }
+
+    #[test]
+    fn product_rejects_shared_columns() {
+        let db = walk_db();
+        assert!(matches!(
+            eval(&Expr::rel("C").product(Expr::rel("C")), &db),
+            Err(AlgebraError::SchemaMismatch { .. })
+        ));
+        let ok = eval(
+            &Expr::rel("C").rename([("i", "x")]).product(Expr::rel("C")),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn join_with_no_common_columns_is_product() {
+        let a = Relation::from_rows(Schema::new(["x"]), [tuple![1], tuple![2]]);
+        let b = Relation::from_rows(Schema::new(["y"]), [tuple![10], tuple![20]]);
+        let db = Database::new().with("A", a).with("B", b);
+        let r = eval(&Expr::rel("A").join(Expr::rel("B")), &db).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.schema(), &Schema::new(["x", "y"]));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Relational algebra extended with `repair-key` (paper §2.2, §3.1).
+//!
+//! This crate implements the query substrate of the PODS 2010 languages:
+//!
+//! * a named relational algebra ([`Expr`]): selection, projection, natural
+//!   join, product, union, difference, renaming, constants;
+//! * the probabilistic [`repair-key`](repair_key) operator, which samples
+//!   one maximal repair of a key and thereby turns a relation into a
+//!   *distribution over relations*;
+//! * three evaluators in [`eval`]: purely deterministic evaluation (errors
+//!   on `repair-key`), exact enumeration of all possible worlds with their
+//!   rational probabilities, and single-world sampling;
+//! * [`Interpretation`]s (Definition 3.1): one kernel expression per
+//!   relation, all fired in parallel against the old state, defining a
+//!   probabilistic transition between database instances;
+//! * an algebraic [`optimize`]r (selection pushdown, projection cascade,
+//!   constant folding) — the paper's future-work pointer to “generic
+//!   optimization techniques”.
+
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod interpretation;
+pub mod optimize;
+pub mod parser;
+pub mod pred;
+pub mod repair_key;
+
+pub use error::AlgebraError;
+pub use expr::Expr;
+pub use interpretation::Interpretation;
+pub use pred::{Operand, Pred};

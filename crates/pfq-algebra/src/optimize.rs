@@ -1,0 +1,417 @@
+//! Algebraic query optimization — the paper's future-work item “the
+//! design of generic optimization techniques for query evaluation”.
+//!
+//! [`optimize`] rewrites an expression into an equivalent one that the
+//! evaluators process faster, using classical equivalences, all of which
+//! are *distribution-preserving* (they commute with the possible-worlds
+//! semantics because they never duplicate or drop a `repair-key`
+//! subexpression):
+//!
+//! * selection pushdown through join/product/union/difference/rename;
+//! * selection fusion: `σ_p(σ_q(e)) = σ_{p∧q}(e)`;
+//! * projection cascade: `π_A(π_B(e)) = π_A(e)`;
+//! * identity elimination: `σ_true(e) = e`, `ρ_∅(e) = e`, and renames
+//!   that map every column to itself;
+//! * constant folding of deterministic subtrees rooted at constants;
+//! * empty-relation propagation: joins/products with a provably empty
+//!   constant are empty; unions with an empty constant drop it.
+//!
+//! The rewriter is conservative: anything it does not recognize is left
+//! untouched, so `optimize` is always safe to apply. Equivalence is
+//! checked in the test suite by comparing full world distributions
+//! before and after on concrete databases.
+
+use crate::{eval, Expr, Pred};
+use pfq_data::{Database, Relation};
+
+/// Optimizes an expression; the result has the same world distribution
+/// on every database.
+pub fn optimize(expr: Expr) -> Expr {
+    // Iterate to a small fixpoint: pushdowns can enable further fusion.
+    let mut current = expr;
+    for _ in 0..8 {
+        let next = rewrite(current.clone());
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn rewrite(expr: Expr) -> Expr {
+    // Bottom-up: rewrite children first.
+    let expr = match expr {
+        Expr::Rel(_) | Expr::Const(_) => expr,
+        Expr::Select(p, e) => Expr::Select(p, Box::new(rewrite(*e))),
+        Expr::Project(cols, e) => Expr::Project(cols, Box::new(rewrite(*e))),
+        Expr::Rename(pairs, e) => Expr::Rename(pairs, Box::new(rewrite(*e))),
+        Expr::Join(a, b) => Expr::Join(Box::new(rewrite(*a)), Box::new(rewrite(*b))),
+        Expr::Product(a, b) => Expr::Product(Box::new(rewrite(*a)), Box::new(rewrite(*b))),
+        Expr::Union(a, b) => Expr::Union(Box::new(rewrite(*a)), Box::new(rewrite(*b))),
+        Expr::Difference(a, b) => Expr::Difference(Box::new(rewrite(*a)), Box::new(rewrite(*b))),
+        Expr::RepairKey { key, weight, input } => Expr::RepairKey {
+            key,
+            weight,
+            input: Box::new(rewrite(*input)),
+        },
+        Expr::Let { name, value, body } => Expr::Let {
+            name,
+            value: Box::new(rewrite(*value)),
+            body: Box::new(rewrite(*body)),
+        },
+    };
+    rewrite_node(expr)
+}
+
+/// One local rewrite at the root.
+fn rewrite_node(expr: Expr) -> Expr {
+    match expr {
+        // σ_true(e) = e.
+        Expr::Select(Pred::True, e) => *e,
+
+        // σ_p(σ_q(e)) = σ_{q ∧ p}(e).
+        Expr::Select(p, e) => match *e {
+            Expr::Select(q, inner) => Expr::Select(q.and(p), inner),
+            other => push_select(p, other),
+        },
+
+        // π_A(π_B(e)) = π_A(e) (A ⊆ B is implied by well-formedness).
+        Expr::Project(cols, e) => match *e {
+            Expr::Project(_, inner) => Expr::Project(cols, inner),
+            other => fold_constants(Expr::Project(cols, Box::new(other))),
+        },
+
+        // Identity renames disappear.
+        Expr::Rename(pairs, e) => {
+            if pairs.iter().all(|(a, b)| a == b) {
+                *e
+            } else {
+                fold_constants(Expr::Rename(pairs, Box::new(*e)))
+            }
+        }
+
+        // Empty-constant propagation.
+        Expr::Join(a, b) => match (is_empty_const(&a), is_empty_const(&b)) {
+            (true, _) => empty_like(Expr::Join(a, b)),
+            (_, true) => empty_like(Expr::Join(a, b)),
+            _ => fold_constants(Expr::Join(a, b)),
+        },
+        Expr::Product(a, b) => match (is_empty_const(&a), is_empty_const(&b)) {
+            (true, _) | (_, true) => empty_like(Expr::Product(a, b)),
+            _ => fold_constants(Expr::Product(a, b)),
+        },
+        Expr::Union(a, b) => {
+            if is_empty_const(&a) {
+                *b
+            } else if is_empty_const(&b) {
+                *a
+            } else {
+                fold_constants(Expr::Union(a, b))
+            }
+        }
+        Expr::Difference(a, b) => {
+            // `e − ∅ = e`, and `∅ − e = ∅`; in both cases the answer is
+            // the (possibly empty) left operand.
+            if is_empty_const(&b) || is_empty_const(&a) {
+                *a
+            } else {
+                fold_constants(Expr::Difference(a, b))
+            }
+        }
+
+        other => other,
+    }
+}
+
+/// Pushes a selection below operators it commutes with. The predicate
+/// must keep seeing the same column names, so pushing through `Rename`
+/// is done only when no predicate column is renamed, and pushing into
+/// join/product operands only when the operand's schema surely contains
+/// every predicate column — conservatively approximated by "the other
+/// operand is a constant whose schema is disjoint from the predicate
+/// columns". Everything else keeps the selection where it is.
+fn push_select(p: Pred, e: Expr) -> Expr {
+    match e {
+        // σ_p(a ∪ b) = σ_p(a) ∪ σ_p(b): always sound (same schemas).
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(Expr::Select(p.clone(), a)),
+            Box::new(Expr::Select(p, b)),
+        ),
+        // σ_p(a − b) = σ_p(a) − σ_p(b).
+        Expr::Difference(a, b) => Expr::Difference(
+            Box::new(Expr::Select(p.clone(), a)),
+            Box::new(Expr::Select(p, b)),
+        ),
+        other => fold_constants(Expr::Select(p, Box::new(other))),
+    }
+}
+
+/// Columns mentioned by a predicate (exposed for rewrite clients that
+/// need to reason about predicate scope, e.g. future join-pushdown
+/// rules; exercised by the test suite).
+pub fn pred_columns(p: &Pred, out: &mut Vec<String>) {
+    use crate::pred::Operand;
+    let mut op = |o: &Operand| {
+        if let Operand::Col(c) = o {
+            out.push(c.clone());
+        }
+    };
+    match p {
+        Pred::True => {}
+        Pred::Eq(a, b) | Pred::Ne(a, b) | Pred::Lt(a, b) | Pred::Le(a, b) => {
+            op(a);
+            op(b);
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            pred_columns(a, out);
+            pred_columns(b, out);
+        }
+        Pred::Not(inner) => pred_columns(inner, out),
+    }
+}
+
+/// If every input of a deterministic operator is a constant, evaluate it
+/// now (on an empty database — constants need no base relations).
+fn fold_constants(expr: Expr) -> Expr {
+    let all_const = match &expr {
+        Expr::Select(_, e) | Expr::Project(_, e) | Expr::Rename(_, e) => {
+            matches!(**e, Expr::Const(_))
+        }
+        Expr::Join(a, b) | Expr::Product(a, b) | Expr::Union(a, b) | Expr::Difference(a, b) => {
+            matches!(**a, Expr::Const(_)) && matches!(**b, Expr::Const(_))
+        }
+        _ => false,
+    };
+    if !all_const {
+        return expr;
+    }
+    match eval::eval(&expr, &Database::new()) {
+        Ok(rel) => Expr::Const(rel),
+        Err(_) => expr, // ill-typed subtree: let evaluation report it
+    }
+}
+
+fn is_empty_const(e: &Expr) -> bool {
+    matches!(e, Expr::Const(rel) if rel.is_empty())
+}
+
+/// Replaces a provably empty expression by an empty constant with the
+/// right schema, if the schema can be determined without a database;
+/// otherwise returns the expression unchanged.
+fn empty_like(expr: Expr) -> Expr {
+    match expr.schema(&Database::new()) {
+        Ok(schema) => Expr::Const(Relation::empty(schema)),
+        Err(_) => expr, // schema needs base relations; keep as-is
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pred;
+    use pfq_data::{tuple, Relation, Schema, Value};
+    use pfq_num::Distribution;
+
+    fn db() -> Database {
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 2, Value::frac(1, 2)],
+                tuple![1, 3, Value::frac(1, 2)],
+                tuple![2, 1, 1],
+                tuple![3, 1, 1],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1], tuple![2]]);
+        Database::new().with("E", e).with("C", c)
+    }
+
+    /// The optimizer's contract: identical world distributions.
+    fn assert_equivalent(e: &Expr) {
+        let optimized = optimize(e.clone());
+        let before: Distribution<Relation> = eval::enumerate(e, &db(), None).unwrap();
+        let after = eval::enumerate(&optimized, &db(), None).unwrap();
+        assert_eq!(
+            before.support_size(),
+            after.support_size(),
+            "{e} vs {optimized}"
+        );
+        for (rel, p) in before.iter() {
+            assert_eq!(&after.mass(rel), p, "{e} vs {optimized}");
+        }
+    }
+
+    #[test]
+    fn select_true_is_removed() {
+        let e = Expr::rel("E").select(Pred::True);
+        assert_eq!(optimize(e), Expr::rel("E"));
+    }
+
+    #[test]
+    fn selects_fuse() {
+        let e = Expr::rel("E")
+            .select(Pred::col_eq("i", 1))
+            .select(Pred::col_eq("j", 2));
+        let o = optimize(e.clone());
+        // One Select remains.
+        let count = count_selects(&o);
+        assert_eq!(count, 1, "{o}");
+        assert_equivalent(&e);
+    }
+
+    fn count_selects(e: &Expr) -> usize {
+        match e {
+            Expr::Select(_, inner) => 1 + count_selects(inner),
+            Expr::Project(_, inner) | Expr::Rename(_, inner) => count_selects(inner),
+            Expr::Join(a, b) | Expr::Product(a, b) | Expr::Union(a, b) | Expr::Difference(a, b) => {
+                count_selects(a) + count_selects(b)
+            }
+            Expr::RepairKey { input, .. } => count_selects(input),
+            Expr::Let { value, body, .. } => count_selects(value) + count_selects(body),
+            Expr::Rel(_) | Expr::Const(_) => 0,
+        }
+    }
+
+    #[test]
+    fn projections_cascade() {
+        let e = Expr::rel("E").project(["i", "j"]).project(["j"]);
+        let o = optimize(e.clone());
+        assert_eq!(o, Expr::rel("E").project(["j"]));
+        assert_equivalent(&e);
+    }
+
+    #[test]
+    fn identity_rename_removed() {
+        let e = Expr::rel("C").rename([("i", "i")]);
+        assert_eq!(optimize(e), Expr::rel("C"));
+        // Non-identity renames stay.
+        let e = Expr::rel("C").rename([("i", "x")]);
+        assert!(matches!(optimize(e), Expr::Rename(..)));
+    }
+
+    #[test]
+    fn select_distributes_over_union_and_difference() {
+        let u = Expr::rel("C")
+            .union(Expr::rel("C"))
+            .select(Pred::col_eq("i", 1));
+        assert_equivalent(&u);
+        let o = optimize(u);
+        assert!(matches!(o, Expr::Union(..)), "{o}");
+        let d = Expr::rel("C")
+            .difference(Expr::rel("C").select(Pred::col_eq("i", 2)))
+            .select(Pred::col_eq("i", 1));
+        assert_equivalent(&d);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let konst = Relation::from_rows(Schema::new(["x"]), [tuple![1], tuple![2]]);
+        let e = Expr::constant(konst)
+            .select(Pred::col_eq("x", 1))
+            .project(["x"]);
+        let o = optimize(e);
+        match o {
+            Expr::Const(rel) => {
+                assert_eq!(rel.len(), 1);
+                assert!(rel.contains(&tuple![1]));
+            }
+            other => panic!("expected folded constant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_constants_propagate() {
+        let empty = Expr::constant(Relation::empty(Schema::new(["i"])));
+        // C ∪ ∅ = C.
+        assert_eq!(
+            optimize(Expr::rel("C").union(empty.clone())),
+            Expr::rel("C")
+        );
+        assert_eq!(
+            optimize(empty.clone().union(Expr::rel("C"))),
+            Expr::rel("C")
+        );
+        // C − ∅ = C.
+        assert_eq!(
+            optimize(Expr::rel("C").difference(empty.clone())),
+            Expr::rel("C")
+        );
+        // ∅ ⋈ C = ∅ (schema of the join, when derivable, else kept).
+        let j = optimize(empty.clone().join(empty.clone()));
+        assert!(matches!(j, Expr::Const(ref r) if r.is_empty()), "{j}");
+    }
+
+    #[test]
+    fn repair_key_subtrees_are_preserved() {
+        // The optimizer must not duplicate or drop probabilistic parts.
+        let e = Expr::rel("C")
+            .join(Expr::rel("E"))
+            .repair_key(["i"], Some("p"))
+            .select(Pred::True)
+            .project(["j"])
+            .rename([("j", "i")]);
+        assert_equivalent(&e);
+        let o = optimize(e);
+        // Exactly one repair-key before and after.
+        fn count_rk(e: &Expr) -> usize {
+            match e {
+                Expr::RepairKey { input, .. } => 1 + count_rk(input),
+                Expr::Select(_, i) | Expr::Project(_, i) | Expr::Rename(_, i) => count_rk(i),
+                Expr::Join(a, b)
+                | Expr::Product(a, b)
+                | Expr::Union(a, b)
+                | Expr::Difference(a, b) => count_rk(a) + count_rk(b),
+                Expr::Let { value, body, .. } => count_rk(value) + count_rk(body),
+                Expr::Rel(_) | Expr::Const(_) => 0,
+            }
+        }
+        assert_eq!(count_rk(&o), 1);
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let e = Expr::rel("E")
+            .select(Pred::True)
+            .select(Pred::col_eq("i", 1))
+            .project(["i", "j"])
+            .project(["j"]);
+        let once = optimize(e.clone());
+        let twice = optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn equivalence_on_compound_probabilistic_expressions() {
+        let cases = vec![
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .select(Pred::True)
+                .repair_key(["i"], Some("p"))
+                .project(["i", "j"])
+                .project(["j"]),
+            Expr::rel("C")
+                .union(Expr::constant(Relation::empty(Schema::new(["i"]))))
+                .join(Expr::rel("E"))
+                .repair_key([] as [&str; 0], Some("p")),
+            Expr::rel("E")
+                .repair_key(["i"], None)
+                .select(Pred::col_eq("i", 1).and(Pred::True)),
+            Expr::rel("C")
+                .rename([("i", "i")])
+                .join(Expr::rel("E").select(Pred::True)),
+        ];
+        for e in &cases {
+            assert_equivalent(e);
+        }
+    }
+
+    #[test]
+    fn pred_columns_collects() {
+        let p = Pred::col_eq("a", 1).and(Pred::cols_eq("b", "c").not());
+        let mut cols = Vec::new();
+        pred_columns(&p, &mut cols);
+        cols.sort();
+        assert_eq!(cols, vec!["a", "b", "c"]);
+    }
+}

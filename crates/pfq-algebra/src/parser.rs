@@ -1,0 +1,695 @@
+//! A text syntax for algebra expressions, matching [`Expr`]'s `Display`
+//! output — `parse_expr(e.to_string())` round-trips for every
+//! constant-free expression, which the tests exploit.
+//!
+//! ```text
+//! rename[j -> i](project[j](repair-key[i @ p]((C join E))))
+//! select[(i = 1 and p != 0)](E)
+//! let picked = (repair-key[](V)) in ((Color - (picked join Color)))
+//! (A union (B x C))
+//! ```
+//!
+//! Binary operators (`join`, `x`, `union`, `-`) are left-associative at a
+//! single precedence level; use parentheses to group. Bare identifiers
+//! are base-relation references in expression position and column names
+//! in predicate position; literals are integers, `a/b` rationals, and
+//! quoted strings.
+
+use crate::{Expr, Operand, Pred};
+use pfq_data::Value;
+use pfq_num::Ratio;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    At,
+    Arrow, // ->
+    Eq,
+    Ne, // !=
+    Lt,
+    Le,
+    Minus,
+    Slash,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let mut out = Vec::new();
+        loop {
+            while lx.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+                lx.pos += 1;
+            }
+            let start = lx.pos;
+            let Some(b) = lx.peek() else { break };
+            let tok = match b {
+                b'[' => lx.one(Tok::LBracket),
+                b']' => lx.one(Tok::RBracket),
+                b'(' => lx.one(Tok::LParen),
+                b')' => lx.one(Tok::RParen),
+                b',' => lx.one(Tok::Comma),
+                b'@' => lx.one(Tok::At),
+                b'/' => lx.one(Tok::Slash),
+                b'=' => lx.one(Tok::Eq),
+                b'!' => {
+                    lx.pos += 1;
+                    if lx.peek() == Some(b'=') {
+                        lx.pos += 1;
+                        Tok::Ne
+                    } else {
+                        return Err(ParseError {
+                            offset: start,
+                            message: "expected `=` after `!`".into(),
+                        });
+                    }
+                }
+                b'<' => {
+                    lx.pos += 1;
+                    if lx.peek() == Some(b'=') {
+                        lx.pos += 1;
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                b'-' => {
+                    lx.pos += 1;
+                    if lx.peek() == Some(b'>') {
+                        lx.pos += 1;
+                        Tok::Arrow
+                    } else if lx.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        let n = lx.number(start)?;
+                        Tok::Int(-n)
+                    } else {
+                        Tok::Minus
+                    }
+                }
+                b'"' => {
+                    lx.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        match lx.peek() {
+                            None => {
+                                return Err(ParseError {
+                                    offset: start,
+                                    message: "unterminated string".into(),
+                                })
+                            }
+                            Some(b'"') => {
+                                lx.pos += 1;
+                                break;
+                            }
+                            Some(c) => {
+                                s.push(c as char);
+                                lx.pos += 1;
+                            }
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                b if b.is_ascii_digit() => Tok::Int(lx.number(start)?),
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let mut s = String::new();
+                    while lx
+                        .peek()
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    {
+                        s.push(lx.src[lx.pos] as char);
+                        lx.pos += 1;
+                    }
+                    // `repair-key` is one keyword containing a hyphen.
+                    if s == "repair"
+                        && lx.peek() == Some(b'-')
+                        && lx.src.get(lx.pos + 1..lx.pos + 4) == Some(b"key")
+                    {
+                        lx.pos += 4;
+                        s = "repair-key".to_string();
+                    }
+                    Tok::Ident(s)
+                }
+                other => {
+                    return Err(ParseError {
+                        offset: start,
+                        message: format!("unexpected character {:?}", other as char),
+                    })
+                }
+            };
+            out.push((tok, start));
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn one(&mut self, t: Tok) -> Tok {
+        self.pos += 1;
+        t
+    }
+
+    fn number(&mut self, start: usize) -> Result<i64, ParseError> {
+        let mut n: i64 = 0;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            let d = (self.src[self.pos] - b'0') as i64;
+            self.pos += 1;
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d))
+                .ok_or(ParseError {
+                    offset: start,
+                    message: "integer literal overflows i64".into(),
+                })?;
+        }
+        Ok(n)
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let offset = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, o)| *o)
+            .unwrap_or(0);
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    /// `expr := unary (binop unary)*`, left-associative.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Ident(s)) if s == "join" => "join",
+                Some(Tok::Ident(s)) if s == "x" => "x",
+                Some(Tok::Ident(s)) if s == "union" => "union",
+                Some(Tok::Minus) => "-",
+                _ => return Ok(acc),
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            acc = match op {
+                "join" => acc.join(rhs),
+                "x" => acc.product(rhs),
+                "union" => acc.union(rhs),
+                _ => acc.difference(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(kw)) if kw == "select" => {
+                self.pos += 1;
+                self.expect(&Tok::LBracket, "`[` after select")?;
+                let p = self.pred()?;
+                self.expect(&Tok::RBracket, "`]` after predicate")?;
+                let e = self.parenthesized()?;
+                Ok(e.select(p))
+            }
+            Some(Tok::Ident(kw)) if kw == "project" => {
+                self.pos += 1;
+                self.expect(&Tok::LBracket, "`[` after project")?;
+                let cols = self.ident_list()?;
+                self.expect(&Tok::RBracket, "`]` after columns")?;
+                let e = self.parenthesized()?;
+                Ok(e.project(cols))
+            }
+            Some(Tok::Ident(kw)) if kw == "rename" => {
+                self.pos += 1;
+                self.expect(&Tok::LBracket, "`[` after rename")?;
+                let mut pairs = Vec::new();
+                loop {
+                    let old = self.ident("a column name")?;
+                    self.expect(&Tok::Arrow, "`->` in rename")?;
+                    let new = self.ident("a column name")?;
+                    pairs.push((old, new));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBracket, "`]` after renames")?;
+                let e = self.parenthesized()?;
+                Ok(e.rename(pairs))
+            }
+            Some(Tok::Ident(kw)) if kw == "repair-key" => {
+                self.pos += 1;
+                self.expect(&Tok::LBracket, "`[` after repair-key")?;
+                let mut keys = Vec::new();
+                let mut weight = None;
+                loop {
+                    match self.peek() {
+                        Some(Tok::RBracket) => break,
+                        Some(Tok::At) => {
+                            self.pos += 1;
+                            weight = Some(self.ident("a weight column after `@`")?);
+                            break;
+                        }
+                        Some(Tok::Comma) => {
+                            self.pos += 1;
+                        }
+                        _ => keys.push(self.ident("a key column")?),
+                    }
+                }
+                self.expect(&Tok::RBracket, "`]` after repair-key spec")?;
+                let e = self.parenthesized()?;
+                Ok(e.repair_key(keys, weight.as_deref()))
+            }
+            Some(Tok::Ident(kw)) if kw == "let" => {
+                self.pos += 1;
+                let name = self.ident("a binding name")?;
+                self.expect(&Tok::Eq, "`=` in let")?;
+                let value = self.expr()?;
+                match self.bump() {
+                    Some(Tok::Ident(s)) if s == "in" => {}
+                    _ => return Err(self.error("expected `in` after let value")),
+                }
+                // The body binds tightly (a single unary/parenthesized
+                // expression); otherwise `(let x = (V) in (B) - C)` would
+                // greedily pull `- C` into the body and mis-parse the
+                // `Display` output of `Difference(Let, C)`.
+                let body = self.unary()?;
+                Ok(value.bind(name, body))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Expr::rel(name))
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+
+    fn parenthesized(&mut self) -> Result<Expr, ParseError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let e = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(e)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(&Tok::RBracket) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.ident("a column name")?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// `pred := and_or`, with `and`/`or` left-associative at one level
+    /// (`Display` parenthesizes every binary connective, so source
+    /// produced by `Display` is unambiguous).
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut acc = self.pred_atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(s)) if s == "and" => {
+                    self.pos += 1;
+                    let rhs = self.pred_atom()?;
+                    acc = acc.and(rhs);
+                }
+                Some(Tok::Ident(s)) if s == "or" => {
+                    self.pos += 1;
+                    let rhs = self.pred_atom()?;
+                    acc = acc.or(rhs);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let p = self.pred()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(p)
+            }
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.pos += 1;
+                Ok(self.pred_atom()?.not())
+            }
+            Some(Tok::Ident(s)) if s == "true" => {
+                self.pos += 1;
+                Ok(Pred::True)
+            }
+            _ => {
+                let left = self.operand()?;
+                let cmp = self
+                    .bump()
+                    .ok_or_else(|| self.error("expected a comparison"))?;
+                let right = self.operand()?;
+                Ok(match cmp {
+                    Tok::Eq => Pred::Eq(left, right),
+                    Tok::Ne => Pred::Ne(left, right),
+                    Tok::Lt => Pred::Lt(left, right),
+                    Tok::Le => Pred::Le(left, right),
+                    _ => return Err(self.error("expected `=`, `!=`, `<`, or `<=`")),
+                })
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(Operand::col(name)),
+            Some(Tok::Str(s)) => Ok(Operand::lit(Value::str(s))),
+            Some(Tok::Int(n)) => {
+                if self.peek() == Some(&Tok::Slash) {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(Tok::Int(d)) if d != 0 => {
+                            Ok(Operand::lit(Value::ratio(Ratio::new(n, d))))
+                        }
+                        _ => Err(self.error("expected a nonzero denominator")),
+                    }
+                } else {
+                    Ok(Operand::lit(Value::int(n)))
+                }
+            }
+            _ => Err(self.error("expected a column or literal")),
+        }
+    }
+}
+
+/// Parses an algebra expression from text.
+///
+/// ```
+/// use pfq_algebra::{parser::parse_expr, Expr};
+/// let walk = parse_expr(
+///     "rename[j -> i](project[j](repair-key[i @ p]((C join E))))",
+/// )
+/// .unwrap();
+/// let built = Expr::rel("C")
+///     .join(Expr::rel("E"))
+///     .repair_key(["i"], Some("p"))
+///     .project(["j"])
+///     .rename([("j", "i")]);
+/// assert_eq!(walk, built);
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = Lexer::tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_kernel_parses() {
+        let e = parse_expr("rename[j -> i](project[j](repair-key[i @ p]((C join E))))").unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")])
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        let e = parse_expr(r#"select[(i = 1 and name != "bob")](E)"#).unwrap();
+        match e {
+            Expr::Select(p, _) => {
+                assert_eq!(
+                    p,
+                    Pred::col_eq("i", 1).and(Pred::Ne(Operand::col("name"), Operand::lit("bob")))
+                );
+            }
+            other => panic!("expected select, got {other}"),
+        }
+        let e = parse_expr("select[not p <= 1/2](E)").unwrap();
+        match e {
+            Expr::Select(p, _) => assert_eq!(
+                p,
+                Pred::Le(Operand::col("p"), Operand::lit(Value::frac(1, 2))).not()
+            ),
+            other => panic!("{other}"),
+        }
+        assert!(matches!(
+            parse_expr("select[true](E)").unwrap(),
+            Expr::Select(Pred::True, _)
+        ));
+    }
+
+    #[test]
+    fn binary_operators_left_associate() {
+        let e = parse_expr("A union B union C").unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("A").union(Expr::rel("B")).union(Expr::rel("C"))
+        );
+        let e = parse_expr("A - B x C").unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("A")
+                .difference(Expr::rel("B"))
+                .product(Expr::rel("C"))
+        );
+        // Parentheses regroup.
+        let e = parse_expr("A - (B x C)").unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("A").difference(Expr::rel("B").product(Expr::rel("C")))
+        );
+    }
+
+    #[test]
+    fn let_bindings() {
+        let e = parse_expr("let picked = (repair-key[](V)) in ((picked join Color))").unwrap();
+        assert_eq!(
+            e,
+            Expr::rel("V")
+                .repair_key([] as [&str; 0], None)
+                .bind("picked", Expr::rel("picked").join(Expr::rel("Color")))
+        );
+    }
+
+    #[test]
+    fn repair_key_variants() {
+        assert_eq!(
+            parse_expr("repair-key[a, b @ w](R)").unwrap(),
+            Expr::rel("R").repair_key(["a", "b"], Some("w"))
+        );
+        assert_eq!(
+            parse_expr("repair-key[a](R)").unwrap(),
+            Expr::rel("R").repair_key(["a"], None)
+        );
+        assert_eq!(
+            parse_expr("repair-key[@ w](R)").unwrap(),
+            Expr::rel("R").repair_key([] as [&str; 0], Some("w"))
+        );
+        assert_eq!(
+            parse_expr("repair-key[](R)").unwrap(),
+            Expr::rel("R").repair_key([] as [&str; 0], None)
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let cases = vec![
+            Expr::rel("E"),
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+            Expr::rel("A").union(Expr::rel("B").difference(Expr::rel("C"))),
+            Expr::rel("A")
+                .product(Expr::rel("B"))
+                .select(Pred::col_eq("x", 3)),
+            Expr::rel("E").select(
+                Pred::col_eq("i", 1)
+                    .and(Pred::cols_eq("a", "b").not())
+                    .or(Pred::Le(Operand::col("p"), Operand::lit(Value::frac(1, 2)))),
+            ),
+            Expr::rel("V")
+                .repair_key([] as [&str; 0], None)
+                .bind("picked", Expr::rel("picked").join(Expr::rel("Color"))),
+            Expr::rel("R").repair_key(["k"], None).project(["v"]).bind(
+                "tmp",
+                Expr::rel("tmp").join(Expr::rel("tmp").rename([("v", "w")])),
+            ),
+        ];
+        for e in cases {
+            let text = e.to_string();
+            let parsed =
+                parse_expr(&text).unwrap_or_else(|err| panic!("cannot re-parse {text:?}: {err}"));
+            assert_eq!(parsed, e, "round-trip of {text}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random constant-free expressions (the parser's domain).
+        fn arb_expr() -> impl Strategy<Value = Expr> {
+            let ident = proptest::sample::select(vec!["C", "E", "V", "Color", "picked"]);
+            let col = proptest::sample::select(vec!["i", "j", "p", "node", "color"]);
+            let leaf = ident.prop_map(Expr::rel);
+            leaf.prop_recursive(4, 24, 3, move |inner| {
+                let col = col.clone();
+                let pred = {
+                    let col = col.clone();
+                    prop_oneof![
+                        Just(Pred::True),
+                        (col.clone(), any::<i32>())
+                            .prop_map(|(c, v)| Pred::col_eq(c, v as i64)),
+                        (col.clone(), col.clone()).prop_map(|(a, b)| Pred::cols_eq(a, b)),
+                        // Proper fractions only: an integral `Ratio`
+                        // displays identically to an `Int` (e.g. both
+                        // print `1`), so round-tripping cannot
+                        // distinguish them at the text level.
+                        (col.clone(), 2i64..50).prop_flat_map(|(c, d)| {
+                            (Just(c), 1..d, Just(d))
+                        }).prop_map(|(c, n, d)| Pred::Le(
+                            Operand::col(c),
+                            Operand::lit(Value::ratio(Ratio::new(n, d)))
+                        )),
+                    ]
+                };
+                prop_oneof![
+                    (pred, inner.clone()).prop_map(|(p, e)| e.select(p)),
+                    (col.clone(), inner.clone()).prop_map(|(c, e)| e.project([c])),
+                    (col.clone(), col.clone(), inner.clone())
+                        .prop_map(|(a, b, e)| e.rename([(a, b)])),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+                    (col.clone(), inner.clone())
+                        .prop_map(|(k, e)| e.repair_key([k], None)),
+                    (col.clone(), col.clone(), inner.clone())
+                        .prop_map(|(k, w, e)| e.repair_key([k], Some(w))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(v, b)| v.bind("tmp", b)),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The grammar is exactly the `Display` language: every
+            /// generated expression re-parses to itself.
+            #[test]
+            fn prop_display_parse_roundtrip(e in arb_expr()) {
+                let text = e.to_string();
+                let parsed = parse_expr(&text)
+                    .map_err(|err| TestCaseError::fail(format!("{text}: {err}")))?;
+                prop_assert_eq!(parsed, e);
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("select[true] E").is_err()); // missing parens
+        assert!(parse_expr("project[j](E) trailing").is_err());
+        assert!(parse_expr("rename[a > b](E)").is_err());
+        assert!(parse_expr("select[p ! 1](E)").is_err());
+        assert!(parse_expr("select[p = 1/0](E)").is_err());
+        assert!(parse_expr("let x = (A)").is_err()); // missing in
+        assert!(parse_expr(r#"select[n = "unterminated](E)"#).is_err());
+        // Error positions are reported.
+        let err = parse_expr("project[j] E").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared measurement utilities for the experiment harness.
+//!
+//! The Criterion benches (`benches/`) measure steady-state throughput of
+//! each algorithm; the `experiments` binary (`src/bin/experiments.rs`)
+//! regenerates the *shape* of every Table 1 claim as a printed table —
+//! scaling sweeps with wall-clock timings and accuracy cross-checks —
+//! recorded in `EXPERIMENTS.md`.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` once and returns the wall-clock duration and its result.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Median-of-`runs` wall-clock timing of `f` (result discarded).
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(runs > 0);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Formats a duration compactly for table output.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Prints a markdown table (used by the experiments binary so its output
+/// can be pasted into `EXPERIMENTS.md` verbatim).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive() {
+        let (d, v) = time_once(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+        let m = time_median(3, || (0..1000).sum::<u64>());
+        assert!(m.as_nanos() > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00 s");
+    }
+}

@@ -1,0 +1,64 @@
+//! The `pfq` command-line tool: run probabilistic fixpoint queries from
+//! `.pfq` files.
+//!
+//! ```text
+//! pfq run <file.pfq>    evaluate every @query in the file
+//! pfq help              this message
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pfq — probabilistic fixpoint and Markov chain queries (PODS 2010)
+
+USAGE:
+    pfq run <file.pfq>    evaluate every @query directive in the file
+    pfq help              show this message
+
+FILE FORMAT (see the crate docs for details):
+    @relation E(i, j, p) { (v, w, 1/2) (v, u, 1/2) }
+    @program { C(v).  C2(X!, Y) @P :- C(X), E(X, Y, P).  C(Y) :- C2(X, Y). }
+    @query inflationary exact event C(w)
+    @query inflationary sample epsilon 0.05 delta 0.05 seed 7 event C(w)
+    @query noninflationary exact event C(w)
+    @query noninflationary time-average steps 20000 seed 7 event C(w)
+    @query noninflationary burn-in 100 epsilon 0.1 delta 0.05 seed 7 event C(w)
+
+    Raw transition kernels (relational algebra + repair-key) work too:
+    @kernel C := rename[j -> i](project[j](repair-key[i @ p]((C join E))))
+    @query kernel exact event C(1)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("error: `pfq run` needs a file argument\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            match pfq_cli::run_file(Path::new(path)) {
+                Ok(results) => {
+                    for r in results {
+                        println!("{}", r.directive);
+                        println!("  {}", r.value);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

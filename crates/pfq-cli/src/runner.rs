@@ -1,0 +1,312 @@
+//! Executing the queries of a parsed `.pfq` file.
+
+use crate::format::{parse_file, PfqFile, Query, Semantics};
+use pfq_core::exact_inflationary::{self, ExactBudget};
+use pfq_core::exact_noninflationary::{self, ChainBudget};
+use pfq_core::{mixing_sampler, sample_inflationary, DatalogQuery, Event, ForeverQuery};
+use pfq_datalog::Program;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The result of one query: the directive echoed back plus the value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// The `@query …` directive as written.
+    pub directive: String,
+    /// A human-readable result line.
+    pub value: String,
+}
+
+/// Runs every query of a parsed file; results come back in file order.
+pub fn run(file: &PfqFile) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for query in &file.queries {
+        out.push(run_query(file, query)?);
+    }
+    Ok(out)
+}
+
+fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::error::Error>> {
+    let event = Event::tuple_in(query.relation.clone(), query.tuple.clone());
+    let program = |what: &str| -> Result<&Program, String> {
+        file.program
+            .as_ref()
+            .ok_or_else(|| format!("{what} queries need an @program block"))
+    };
+    let kernel_query = |what: &str| -> Result<ForeverQuery, String> {
+        let kernels = file
+            .kernels
+            .clone()
+            .ok_or_else(|| format!("{what} queries need @kernel directives"))?;
+        Ok(ForeverQuery::new(kernels, event.clone()))
+    };
+    let dq = DatalogQuery::new(file.program.clone().unwrap_or_default(), event.clone());
+    let value = match &query.semantics {
+        Semantics::InflationaryExact => {
+            program("inflationary")?;
+            let p = exact_inflationary::evaluate(&dq, &file.database, ExactBudget::default())?;
+            format!("p = {p} (= {:.6}, exact)", p.to_f64())
+        }
+        Semantics::InflationarySample {
+            epsilon,
+            delta,
+            seed,
+        } => {
+            program("inflationary")?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let est =
+                sample_inflationary::evaluate(&dq, &file.database, *epsilon, *delta, &mut rng)?;
+            format!(
+                "p ≈ {:.6} ({} samples, ε = {epsilon}, δ = {delta})",
+                est.estimate, est.samples
+            )
+        }
+        Semantics::NoninflationaryExact => {
+            program("noninflationary")?;
+            let (fq, prepared) = dq.to_forever_query(&file.database)?;
+            let p = exact_noninflationary::evaluate(&fq, &prepared, ChainBudget::default())?;
+            format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
+        }
+        Semantics::TimeAverage { steps, seed } => {
+            program("noninflationary")?;
+            let (fq, prepared) = dq.to_forever_query(&file.database)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let avg = mixing_sampler::evaluate_time_average(&fq, &prepared, *steps, &mut rng)?;
+            format!("p ≈ {avg:.6} (time average over {steps} steps)")
+        }
+        Semantics::BurnIn {
+            burn_in,
+            epsilon,
+            delta,
+            seed,
+        } => {
+            program("noninflationary")?;
+            let (fq, prepared) = dq.to_forever_query(&file.database)?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let est = mixing_sampler::evaluate_with_burn_in(
+                &fq, &prepared, *burn_in, *epsilon, *delta, &mut rng,
+            )?;
+            format!(
+                "p ≈ {:.6} ({} samples, burn-in {burn_in}, ε = {epsilon}, δ = {delta})",
+                est.estimate, est.samples
+            )
+        }
+        Semantics::KernelExact => {
+            let fq = kernel_query("kernel")?;
+            let p = exact_noninflationary::evaluate(&fq, &file.database, ChainBudget::default())?;
+            format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
+        }
+        Semantics::KernelTimeAverage { steps, seed } => {
+            let fq = kernel_query("kernel")?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let avg = mixing_sampler::evaluate_time_average(&fq, &file.database, *steps, &mut rng)?;
+            format!("p ≈ {avg:.6} (time average over {steps} steps)")
+        }
+        Semantics::KernelBurnIn {
+            burn_in,
+            epsilon,
+            delta,
+            seed,
+        } => {
+            let fq = kernel_query("kernel")?;
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let est = mixing_sampler::evaluate_with_burn_in(
+                &fq,
+                &file.database,
+                *burn_in,
+                *epsilon,
+                *delta,
+                &mut rng,
+            )?;
+            format!(
+                "p ≈ {:.6} ({} samples, burn-in {burn_in}, ε = {epsilon}, δ = {delta})",
+                est.estimate, est.samples
+            )
+        }
+    };
+    Ok(QueryResult {
+        directive: query.source.clone(),
+        value,
+    })
+}
+
+/// Parses and runs a `.pfq` source string.
+pub fn run_source(src: &str) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    let file = parse_file(src)?;
+    run(&file)
+}
+
+/// Parses and runs a `.pfq` file from disk.
+pub fn run_file(path: &std::path::Path) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    run_source(&src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FORK: &str = r#"
+@relation E(i, j, p) {
+  (v, w, 1/2)
+  (v, u, 1/2)
+}
+@program {
+  C(v).
+  C2(X!, Y) @P :- C(X), E(X, Y, P).
+  C(Y) :- C2(X, Y).
+}
+@query inflationary exact event C(w)
+@query inflationary sample epsilon 0.05 delta 0.05 seed 1 event C(w)
+"#;
+
+    #[test]
+    fn inflationary_modes_run() {
+        let results = run_source(FORK).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(
+            results[0].value.starts_with("p = 1/2"),
+            "{}",
+            results[0].value
+        );
+        // The sampled estimate is near 0.5.
+        let est: f64 = results[1]
+            .value
+            .split(['≈', '('])
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!((est - 0.5).abs() < 0.05, "{est}");
+    }
+
+    #[test]
+    fn noninflationary_modes_run() {
+        let src = r#"
+@relation E(i, j, p) {
+  (0, 1, 1)
+  (1, 0, 1)
+  (1, 1, 1)
+}
+@relation C(c0) {
+  (0)
+}
+@program {
+  C(Y) @P :- C(X), E(X, Y, P).
+}
+@query noninflationary exact event C(1)
+@query noninflationary time-average steps 20000 seed 2 event C(1)
+@query noninflationary burn-in 50 epsilon 0.1 delta 0.05 seed 2 event C(1)
+"#;
+        let results = run_source(src).unwrap();
+        assert_eq!(results.len(), 3);
+        // Walk: 0 → 1; 1 → {0, 1} uniformly. π(1) = 2/3.
+        assert!(
+            results[0].value.starts_with("p = 2/3"),
+            "{}",
+            results[0].value
+        );
+        for r in &results[1..] {
+            let est: f64 = r
+                .value
+                .split(['≈', '('])
+                .nth(1)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!((est - 2.0 / 3.0).abs() < 0.1, "{}", r.value);
+        }
+    }
+
+    #[test]
+    fn zero_ary_event() {
+        let src = r#"
+@relation R(a, b) {
+  (1, 2)
+  (2, 1)
+}
+@program {
+  Done :- R(X, Y), R(Y, X).
+}
+@query inflationary exact event Done
+"#;
+        let results = run_source(src).unwrap();
+        assert!(
+            results[0].value.starts_with("p = 1 "),
+            "{}",
+            results[0].value
+        );
+    }
+
+    #[test]
+    fn kernel_queries_run() {
+        // The Example 3.3 walk written as a raw @kernel: π(1) = 2/3 on
+        // the lazy 2-state chain.
+        let src = r#"
+@relation E(i, j, p) {
+  (0, 1, 1)
+  (1, 0, 1)
+  (1, 1, 1)
+}
+@relation C(i) {
+  (0)
+}
+@kernel C := rename[j -> i](project[j](repair-key[i @ p]((C join E))))
+@query kernel exact event C(1)
+@query kernel time-average steps 20000 seed 3 event C(1)
+@query kernel burn-in 50 epsilon 0.1 delta 0.05 seed 3 event C(1)
+"#;
+        let results = run_source(src).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(
+            results[0].value.starts_with("p = 2/3"),
+            "{}",
+            results[0].value
+        );
+        for r in &results[1..] {
+            let est: f64 = r
+                .value
+                .split(['≈', '('])
+                .nth(1)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert!((est - 2.0 / 3.0).abs() < 0.1, "{}", r.value);
+        }
+    }
+
+    #[test]
+    fn kernel_query_without_kernels_errors() {
+        let src = "@program {\nC(1).\n}\n@query kernel exact event C(1)";
+        let err = run_source(src).unwrap_err().to_string();
+        assert!(err.contains("@kernel"), "{err}");
+        // And datalog queries without a program error too.
+        let src = "@kernel C := project[i](C)\n@query inflationary exact event C(1)";
+        let err = run_source(src).unwrap_err().to_string();
+        assert!(err.contains("@program"), "{err}");
+    }
+
+    #[test]
+    fn bad_files_error_cleanly() {
+        assert!(run_source(
+            "@program {\nC(X) :- Missing(X).\n}\n@query inflationary exact event C(1)"
+        )
+        .is_err());
+        assert!(run_source("no directives").is_err());
+    }
+
+    #[test]
+    fn run_file_reads_from_disk() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pfq_cli_runner_test.pfq");
+        std::fs::write(&path, FORK).unwrap();
+        let results = run_file(&path).unwrap();
+        assert_eq!(results.len(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(run_file(std::path::Path::new("/nonexistent/x.pfq")).is_err());
+    }
+}

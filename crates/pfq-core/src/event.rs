@@ -1,0 +1,150 @@
+//! Query events — the Boolean observation evaluated on database states.
+//!
+//! The paper assumes events of the form `t ∈ R` (Definition 3.2); we add
+//! the obvious low-complexity closure (non-emptiness and boolean
+//! combinations), which changes none of the complexity results.
+
+use pfq_data::{Database, Tuple};
+use std::fmt;
+
+/// A Boolean event over database states.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// `t ∈ R` — the paper's canonical query event.
+    TupleIn {
+        /// The observed relation.
+        relation: String,
+        /// The tuple to look for.
+        tuple: Tuple,
+    },
+    /// `R ≠ ∅`.
+    NonEmpty(String),
+    /// Conjunction.
+    And(Box<Event>, Box<Event>),
+    /// Disjunction.
+    Or(Box<Event>, Box<Event>),
+    /// Negation.
+    Not(Box<Event>),
+}
+
+impl Event {
+    /// The canonical `t ∈ R` event.
+    pub fn tuple_in(relation: impl Into<String>, tuple: Tuple) -> Event {
+        Event::TupleIn {
+            relation: relation.into(),
+            tuple,
+        }
+    }
+
+    /// The `R ≠ ∅` event.
+    pub fn non_empty(relation: impl Into<String>) -> Event {
+        Event::NonEmpty(relation.into())
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Event) -> Event {
+        Event::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Event) -> Event {
+        Event::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper (a DSL combinator, deliberately named like
+    /// the logical operation rather than implementing `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Event {
+        Event::Not(Box::new(self))
+    }
+
+    /// Whether the event holds in `db`. A missing relation makes
+    /// `t ∈ R` and `R ≠ ∅` false (the tuple is certainly not there).
+    pub fn holds(&self, db: &Database) -> bool {
+        match self {
+            Event::TupleIn { relation, tuple } => {
+                db.get(relation).is_some_and(|r| r.contains(tuple))
+            }
+            Event::NonEmpty(relation) => db.get(relation).is_some_and(|r| !r.is_empty()),
+            Event::And(a, b) => a.holds(db) && b.holds(db),
+            Event::Or(a, b) => a.holds(db) || b.holds(db),
+            Event::Not(e) => !e.holds(db),
+        }
+    }
+
+    /// Relations the event observes.
+    pub fn relations(&self) -> Vec<&str> {
+        match self {
+            Event::TupleIn { relation, .. } | Event::NonEmpty(relation) => vec![relation],
+            Event::And(a, b) | Event::Or(a, b) => {
+                let mut v = a.relations();
+                v.extend(b.relations());
+                v
+            }
+            Event::Not(e) => e.relations(),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::TupleIn { relation, tuple } => write!(f, "{tuple} in {relation}"),
+            Event::NonEmpty(relation) => write!(f, "{relation} != {{}}"),
+            Event::And(a, b) => write!(f, "({a} and {b})"),
+            Event::Or(a, b) => write!(f, "({a} or {b})"),
+            Event::Not(e) => write!(f, "not {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_data::{tuple, Relation, Schema};
+
+    fn db() -> Database {
+        Database::new()
+            .with("C", Relation::from_rows(Schema::new(["n"]), [tuple![1]]))
+            .with("D", Relation::empty(Schema::new(["n"])))
+    }
+
+    #[test]
+    fn tuple_in() {
+        let db = db();
+        assert!(Event::tuple_in("C", tuple![1]).holds(&db));
+        assert!(!Event::tuple_in("C", tuple![2]).holds(&db));
+        assert!(!Event::tuple_in("Missing", tuple![1]).holds(&db));
+    }
+
+    #[test]
+    fn non_empty() {
+        let db = db();
+        assert!(Event::non_empty("C").holds(&db));
+        assert!(!Event::non_empty("D").holds(&db));
+        assert!(!Event::non_empty("Missing").holds(&db));
+    }
+
+    #[test]
+    fn combinators() {
+        let db = db();
+        let e = Event::non_empty("C").and(Event::non_empty("D").not());
+        assert!(e.holds(&db));
+        assert!(!e.clone().not().holds(&db));
+        assert!(Event::non_empty("D").or(Event::non_empty("C")).holds(&db));
+    }
+
+    #[test]
+    fn relations_listed() {
+        let e = Event::non_empty("A").and(Event::tuple_in("B", tuple![1]).not());
+        assert_eq!(e.relations(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Event::tuple_in("Done", tuple!["a"]).to_string(),
+            "(a) in Done"
+        );
+    }
+}

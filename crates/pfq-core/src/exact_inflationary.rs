@@ -1,0 +1,206 @@
+//! Exact inflationary evaluation — Proposition 4.4.
+//!
+//! The algorithm traverses the full tree of possible computations down to
+//! all fixpoints (exponentially many nodes, polynomial depth), summing
+//! the probability weight of fixpoints on which the query event holds.
+//! When the input is a probabilistic c-table, the outer loop iterates
+//! over its possible worlds first (§3.2: pc-table choices are made
+//! *once*, at the beginning).
+
+use crate::{CoreError, DatalogQuery};
+use pfq_ctable::PcDatabase;
+use pfq_data::Database;
+use pfq_datalog::inflationary::enumerate_fixpoints;
+use pfq_num::Ratio;
+
+/// Resource limits for exact evaluation; both default to unbounded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactBudget {
+    /// Maximum computation-tree nodes to expand per input world.
+    pub node_budget: Option<usize>,
+    /// Maximum input-database worlds to iterate (pc-table input only).
+    pub world_budget: Option<usize>,
+}
+
+/// Computes the exact probability of the query event over a certain
+/// (non-probabilistic) input database.
+pub fn evaluate(
+    query: &DatalogQuery,
+    db: &Database,
+    budget: ExactBudget,
+) -> Result<Ratio, CoreError> {
+    let fixpoints = enumerate_fixpoints(&query.program, db, budget.node_budget)?;
+    Ok(fixpoints.probability_that(|db| query.event.holds(db)))
+}
+
+/// Computes the exact probability of the query event over a probabilistic
+/// c-table input: `Σ_worlds Pr(world) · Pr(event | world)`.
+pub fn evaluate_pc(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    budget: ExactBudget,
+) -> Result<Ratio, CoreError> {
+    let worlds = input.enumerate_worlds()?;
+    if let Some(limit) = budget.world_budget {
+        if worlds.support_size() > limit {
+            return Err(CoreError::BadParameter(format!(
+                "input has {} worlds, over the budget of {limit}",
+                worlds.support_size()
+            )));
+        }
+    }
+    let mut total = Ratio::zero();
+    for (world, p) in worlds.iter() {
+        let conditional = evaluate(query, world, budget)?;
+        total = total.add_ref(&p.mul_ref(&conditional));
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use pfq_ctable::{Condition, PcTable, RandomVariable};
+    use pfq_data::{tuple, Relation, Schema, Value};
+
+    fn reach_query(target: &str) -> DatalogQuery {
+        DatalogQuery::parse(
+            "C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).",
+            Event::tuple_in("C", tuple![target]),
+        )
+        .unwrap()
+    }
+
+    fn fork_db() -> Database {
+        Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [
+                    tuple!["v", "w", Value::frac(1, 2)],
+                    tuple!["v", "u", Value::frac(1, 2)],
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn example_3_9_exact() {
+        assert_eq!(
+            evaluate(&reach_query("w"), &fork_db(), ExactBudget::default()).unwrap(),
+            Ratio::new(1, 2)
+        );
+        assert_eq!(
+            evaluate(&reach_query("v"), &fork_db(), ExactBudget::default()).unwrap(),
+            Ratio::one()
+        );
+        assert_eq!(
+            evaluate(&reach_query("nowhere"), &fork_db(), ExactBudget::default()).unwrap(),
+            Ratio::zero()
+        );
+    }
+
+    #[test]
+    fn weighted_fork() {
+        // Weights 1:3 instead of 1/2:1/2.
+        let db = Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [tuple!["v", "w", 1], tuple!["v", "u", 3]],
+            ),
+        );
+        assert_eq!(
+            evaluate(&reach_query("u"), &db, ExactBudget::default()).unwrap(),
+            Ratio::new(3, 4)
+        );
+    }
+
+    #[test]
+    fn two_hop_probability_multiplies() {
+        // v → {w (1/2), u (1/2)}, w → {t (1/2), s (1/2)}.
+        // Pr[t ∈ C] = 1/2 · 1/2 = 1/4.
+        let db = Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [
+                    tuple!["v", "w", 1],
+                    tuple!["v", "u", 1],
+                    tuple!["w", "t", 1],
+                    tuple!["w", "s", 1],
+                ],
+            ),
+        );
+        assert_eq!(
+            evaluate(&reach_query("t"), &db, ExactBudget::default()).unwrap(),
+            Ratio::new(1, 4)
+        );
+    }
+
+    #[test]
+    fn pc_table_input_mixes_worlds() {
+        // Edge (v, w) exists iff coin x = 1; event: w reached.
+        let mut input = PcDatabase::new();
+        input
+            .declare_variable(RandomVariable::fair_coin("x"))
+            .unwrap();
+        input.add_table(
+            "E",
+            PcTable::new(Schema::new(["i", "j", "p"]))
+                .with(tuple!["v", "w", 1], Condition::eq("x", 1)),
+        );
+        let p = evaluate_pc(&reach_query("w"), &input, ExactBudget::default()).unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn pc_world_budget_enforced() {
+        // Four coins each gating a distinct edge → 16 distinct worlds.
+        let mut input = PcDatabase::new();
+        let mut table = PcTable::new(Schema::new(["i", "j", "p"]));
+        for i in 0..4 {
+            input
+                .declare_variable(RandomVariable::fair_coin(format!("x{i}")))
+                .unwrap();
+            table.add(
+                tuple!["v", format!("w{i}").as_str(), 1],
+                Condition::eq(format!("x{i}"), 1),
+            );
+        }
+        input.add_table("E", table);
+        let budget = ExactBudget {
+            node_budget: None,
+            world_budget: Some(3),
+        };
+        assert!(matches!(
+            evaluate_pc(&reach_query("w0"), &input, budget),
+            Err(CoreError::BadParameter(_))
+        ));
+        // Unused variables merge worlds: a single gated edge plus three
+        // unused coins yields only 2 distinct worlds, under the budget.
+        let mut small = PcDatabase::new();
+        for i in 0..4 {
+            small
+                .declare_variable(RandomVariable::fair_coin(format!("y{i}")))
+                .unwrap();
+        }
+        small.add_table(
+            "E",
+            PcTable::new(Schema::new(["i", "j", "p"]))
+                .with(tuple!["v", "w", 1], Condition::eq("y0", 1)),
+        );
+        let p = evaluate_pc(&reach_query("w"), &small, budget).unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn node_budget_enforced() {
+        let budget = ExactBudget {
+            node_budget: Some(0),
+            world_budget: None,
+        };
+        assert!(evaluate(&reach_query("w"), &fork_db(), budget).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Exact non-inflationary evaluation — Proposition 5.4 and Theorem 5.5.
+//!
+//! Builds the explicit Markov chain of reachable database instances by
+//! evaluating the transition kernel on each state, then computes the
+//! long-run (time-average) distribution: directly by Gaussian elimination
+//! when the chain is irreducible (Prop. 5.4), or via absorption into the
+//! closed SCCs of the condensation in general (Thm. 5.5). The query
+//! result is the summed long-run probability of event states.
+
+use crate::{CoreError, ForeverQuery};
+use pfq_data::Database;
+use pfq_markov::absorption::long_run_distribution;
+use pfq_markov::MarkovChain;
+use pfq_num::Ratio;
+
+/// Budgets for explicit chain construction; defaults are deliberately
+/// finite because the state space is exponential in the database size.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainBudget {
+    /// Maximum database states to explore.
+    pub max_states: usize,
+    /// Maximum possible worlds per kernel application.
+    pub world_limit: usize,
+}
+
+impl Default for ChainBudget {
+    fn default() -> Self {
+        ChainBudget {
+            max_states: 100_000,
+            world_limit: 100_000,
+        }
+    }
+}
+
+/// Builds the explicit Markov chain over database instances reachable
+/// from `db` under the query's kernel.
+pub fn build_chain(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+) -> Result<MarkovChain<Database>, CoreError> {
+    let kernel = &query.kernel;
+    let chain = MarkovChain::explore(
+        [db.clone()],
+        |state: &Database| kernel.enumerate_step(state, Some(budget.world_limit)),
+        Some(budget.max_states),
+    )?;
+    Ok(chain)
+}
+
+/// The exact query result: the long-run probability that the event holds
+/// on the random walk of database instances started at `db`.
+pub fn evaluate(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+) -> Result<Ratio, CoreError> {
+    let chain = build_chain(query, db, budget)?;
+    let start = chain.index_of(db).expect("start state was interned");
+    let long_run = long_run_distribution(&chain, start)?;
+    let mut total = Ratio::zero();
+    for (i, p) in long_run.iter().enumerate() {
+        if !p.is_zero() && query.event.holds(chain.state(i)) {
+            total = total.add_ref(p);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use pfq_algebra::{Expr, Interpretation};
+    use pfq_data::{tuple, Relation, Schema, Value};
+    use pfq_num::Ratio;
+
+    /// Example 3.3's random-walk query over a weighted triangle:
+    /// 1 → 2 (1/2), 1 → 3 (1/2), 2 → 1 (1), 3 → 1 (1).
+    fn walk_query(target: i64) -> (ForeverQuery, Database) {
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 2, Value::frac(1, 2)],
+                tuple![1, 3, Value::frac(1, 2)],
+                tuple![2, 1, 1],
+                tuple![3, 1, 1],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = Interpretation::new().with(
+            "C",
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        (
+            ForeverQuery::new(kernel, Event::tuple_in("C", tuple![target])),
+            db,
+        )
+    }
+
+    #[test]
+    fn chain_structure() {
+        let (q, db) = walk_query(1);
+        let chain = build_chain(&q, &db, ChainBudget::default()).unwrap();
+        assert_eq!(chain.len(), 3); // walker at 1, 2, or 3
+    }
+
+    #[test]
+    fn stationary_of_triangle_walk() {
+        // Hand computation: π(1)·1/2 flows to each of 2, 3 which return.
+        // Balance: π1 = π2 + π3, π2 = π3 = π1/2 ⇒ π = (1/2, 1/4, 1/4).
+        let (q1, db) = walk_query(1);
+        assert_eq!(
+            evaluate(&q1, &db, ChainBudget::default()).unwrap(),
+            Ratio::new(1, 2)
+        );
+        let (q2, _) = walk_query(2);
+        assert_eq!(
+            evaluate(&q2, &db, ChainBudget::default()).unwrap(),
+            Ratio::new(1, 4)
+        );
+        let (q_miss, _) = walk_query(99);
+        assert_eq!(
+            evaluate(&q_miss, &db, ChainBudget::default()).unwrap(),
+            Ratio::zero()
+        );
+    }
+
+    #[test]
+    fn absorbing_walk_uses_theorem_5_5_path() {
+        // 0 → {1 w.p. 1/3, 2 w.p. 2/3}; 1, 2 absorbing (self-loop edges).
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![0, 1, 1],
+                tuple![0, 2, 2],
+                tuple![1, 1, 1],
+                tuple![2, 2, 1],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![0]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = Interpretation::new().with(
+            "C",
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        let q = ForeverQuery::new(kernel, Event::tuple_in("C", tuple![1]));
+        assert_eq!(
+            evaluate(&q, &db, ChainBudget::default()).unwrap(),
+            Ratio::new(1, 3)
+        );
+    }
+
+    #[test]
+    fn inflationary_kernel_event_probability_is_reachability() {
+        // Inflationary reachability (Example 3.5 flavor): C grows, and
+        // the event "2 ∈ C" has long-run probability = Pr(2 ever reached).
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 2, Value::frac(1, 2)],
+                tuple![1, 3, Value::frac(1, 2)],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let cold = Relation::empty(Schema::new(["i"]));
+        let db = Database::new().with("E", e).with("C", c).with("Cold", cold);
+        // Cold := C; C := C ∪ ρ(π(repair-key((C − Cold) ⋈ E))).
+        let step = Expr::rel("C")
+            .difference(Expr::rel("Cold"))
+            .join(Expr::rel("E"))
+            .repair_key(["i"], Some("p"))
+            .project(["j"])
+            .rename([("j", "i")]);
+        let kernel = Interpretation::new()
+            .with("Cold", Expr::rel("C"))
+            .with("C", Expr::rel("C").union(step));
+        let q = ForeverQuery::new(kernel, Event::tuple_in("C", tuple![2]));
+        assert_eq!(
+            evaluate(&q, &db, ChainBudget::default()).unwrap(),
+            Ratio::new(1, 2)
+        );
+    }
+
+    #[test]
+    fn state_budget_enforced() {
+        let (q, db) = walk_query(1);
+        let tight = ChainBudget {
+            max_states: 1,
+            world_limit: 100,
+        };
+        assert!(matches!(evaluate(&q, &db, tight), Err(CoreError::Chain(_))));
+    }
+
+    #[test]
+    fn identity_kernel_stays_put() {
+        let db = Database::new().with("C", Relation::from_rows(Schema::new(["i"]), [tuple![5]]));
+        let q = ForeverQuery::new(Interpretation::new(), Event::tuple_in("C", tuple![5]));
+        assert!(evaluate(&q, &db, ChainBudget::default()).unwrap().is_one());
+    }
+}

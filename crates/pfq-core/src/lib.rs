@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The paper's query languages and evaluation algorithms.
+//!
+//! This crate is the primary contribution layer: it assembles the
+//! substrates (algebra, c-tables, Markov chains, datalog) into the query
+//! languages of *“On Probabilistic Fixpoint and Markov Chain Query
+//! Languages”* and implements every evaluation algorithm the paper gives:
+//!
+//! | paper | here |
+//! |---|---|
+//! | Def. 3.2 forever-queries | [`ForeverQuery`] |
+//! | Def. 3.4 inflationary queries | [`ForeverQuery`] over an inflationary kernel ([`pfq_algebra::Interpretation::inflationary`]) |
+//! | §3.3 probabilistic datalog queries | [`DatalogQuery`] |
+//! | Prop. 4.4 exact inflationary evaluation (PSPACE) | [`exact_inflationary`] |
+//! | Thm. 4.3 randomized absolute approximation (PTIME) | [`sample_inflationary`] |
+//! | Prop. 5.4 / Thm. 5.5 exact non-inflationary evaluation | [`exact_noninflationary`] |
+//! | Thm. 5.6 mixing-time sampling | [`mixing_sampler`] |
+//! | §5.1 provenance partitioning | [`partition`] |
+
+pub mod error;
+pub mod event;
+pub mod exact_inflationary;
+pub mod exact_noninflationary;
+pub mod mixing_sampler;
+pub mod partition;
+pub mod query;
+pub mod sample_inflationary;
+
+pub use error::CoreError;
+pub use event::Event;
+pub use query::{DatalogQuery, ForeverQuery};

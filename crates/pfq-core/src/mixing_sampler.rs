@@ -1,0 +1,195 @@
+//! Mixing-time-based sampling for non-inflationary queries — Theorem 5.6.
+//!
+//! For a query whose kernel induces an *ergodic* chain, the long-run
+//! probability equals the stationary probability, and near-independent
+//! samples of the stationary distribution are obtained by walking
+//! `burn_in ≥ t(ε_mix)` kernel steps from the start state; the estimator
+//! then proceeds exactly as in Theorem 4.3. Total cost: polynomial in the
+//! database size and in the mixing time `T(q, D)`.
+//!
+//! The walk applies the kernel *directly* (sampling one successor per
+//! step) — the exponential explicit chain is never built. The explicit
+//! route is still available through [`auto_burn_in`], which measures the
+//! true mixing time on a budgeted chain for experiment calibration.
+
+use crate::exact_noninflationary::{build_chain, ChainBudget};
+use crate::sample_inflationary::{hoeffding_sample_count, SampleEstimate};
+use crate::{CoreError, ForeverQuery};
+use pfq_data::Database;
+use pfq_markov::mixing::mixing_time;
+use rand::Rng;
+
+/// Estimates the query probability by restart sampling: each of the `m`
+/// samples walks `burn_in` kernel steps from `db` and observes the event
+/// (the Theorem 5.6 procedure with `burn_in` standing in for `T(q, D)`).
+pub fn evaluate_with_burn_in<R: Rng + ?Sized>(
+    query: &ForeverQuery,
+    db: &Database,
+    burn_in: usize,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<SampleEstimate, CoreError> {
+    let m = hoeffding_sample_count(epsilon, delta)?;
+    let mut hits = 0usize;
+    for _ in 0..m {
+        let mut state = db.clone();
+        for _ in 0..burn_in {
+            state = query.kernel.sample_step(&state, rng)?;
+        }
+        if query.event.holds(&state) {
+            hits += 1;
+        }
+    }
+    Ok(SampleEstimate {
+        estimate: hits as f64 / m as f64,
+        samples: m,
+    })
+}
+
+/// Estimates the query probability from a *single* long walk's time
+/// average — the direct simulation of the paper's `Pr(s)` definition.
+/// Cheaper than restart sampling but with correlated observations (no
+/// `(ε, δ)` guarantee); useful as an experimental baseline.
+pub fn evaluate_time_average<R: Rng + ?Sized>(
+    query: &ForeverQuery,
+    db: &Database,
+    steps: usize,
+    rng: &mut R,
+) -> Result<f64, CoreError> {
+    if steps == 0 {
+        return Err(CoreError::BadParameter("steps must be positive".into()));
+    }
+    let mut state = db.clone();
+    let mut hits = 0usize;
+    for _ in 0..steps {
+        state = query.kernel.sample_step(&state, rng)?;
+        if query.event.holds(&state) {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / steps as f64)
+}
+
+/// Measures the kernel's true mixing time `t(ε_mix)` by building the
+/// explicit (budgeted) chain — the `T(q, D)` the Theorem 5.6 complexity
+/// bound is parameterized by. Returns `None` when the induced chain is
+/// not ergodic or does not mix within `max_t`.
+pub fn auto_burn_in(
+    query: &ForeverQuery,
+    db: &Database,
+    epsilon_mix: f64,
+    max_t: usize,
+    budget: ChainBudget,
+) -> Result<Option<usize>, CoreError> {
+    let chain = build_chain(query, db, budget)?;
+    Ok(mixing_time(&chain, epsilon_mix, max_t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_noninflationary;
+    use crate::Event;
+    use pfq_algebra::{Expr, Interpretation};
+    use pfq_data::{tuple, Relation, Schema};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Lazy walk on a triangle (self-loops make it ergodic).
+    fn lazy_walk(target: i64) -> (ForeverQuery, Database) {
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 1, 1],
+                tuple![1, 2, 1],
+                tuple![2, 2, 1],
+                tuple![2, 3, 1],
+                tuple![3, 3, 1],
+                tuple![3, 1, 1],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = Interpretation::new().with(
+            "C",
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        (
+            ForeverQuery::new(kernel, Event::tuple_in("C", tuple![target])),
+            db,
+        )
+    }
+
+    #[test]
+    fn burn_in_estimate_matches_exact() {
+        let (q, db) = lazy_walk(2);
+        let exact = exact_noninflationary::evaluate(&q, &db, ChainBudget::default())
+            .unwrap()
+            .to_f64();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let est = evaluate_with_burn_in(&q, &db, 40, 0.08, 0.05, &mut rng).unwrap();
+        assert!(
+            (est.estimate - exact).abs() < 0.08,
+            "estimate {} vs exact {exact}",
+            est.estimate
+        );
+    }
+
+    #[test]
+    fn time_average_matches_exact() {
+        let (q, db) = lazy_walk(3);
+        let exact = exact_noninflationary::evaluate(&q, &db, ChainBudget::default())
+            .unwrap()
+            .to_f64();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let avg = evaluate_time_average(&q, &db, 30_000, &mut rng).unwrap();
+        assert!((avg - exact).abs() < 0.02, "avg {avg} vs exact {exact}");
+    }
+
+    #[test]
+    fn auto_burn_in_finds_mixing_time() {
+        let (q, db) = lazy_walk(1);
+        let t = auto_burn_in(&q, &db, 0.05, 1000, ChainBudget::default()).unwrap();
+        let t = t.expect("lazy walk is ergodic");
+        assert!(t > 0 && t < 100, "t = {t}");
+    }
+
+    #[test]
+    fn auto_burn_in_none_for_periodic_kernel() {
+        // Pure 2-cycle without self-loops: periodic, never mixes.
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [tuple![1, 2, 1], tuple![2, 1, 1]],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = Interpretation::new().with(
+            "C",
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        let q = ForeverQuery::new(kernel, Event::tuple_in("C", tuple![1]));
+        assert_eq!(
+            auto_burn_in(&q, &db, 0.05, 500, ChainBudget::default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_steps_rejected() {
+        let (q, db) = lazy_walk(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            evaluate_time_average(&q, &db, 0, &mut rng),
+            Err(CoreError::BadParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,391 @@
+//! Provenance-based partitioning — the §5.1 optimization.
+//!
+//! Pre-processing: give every base tuple a unique identifier, evaluate
+//! all rules inflationarily *as regular datalog* while propagating
+//! identifier sets (a derived tuple carries the union of the identifiers
+//! it was derived from), and split the base tuples into independence
+//! classes. The non-inflationary query is then evaluated on each class's
+//! (much smaller) Markov chain independently, and the results combine as
+//!
+//! ```text
+//! Pr(query) = 1 − Π_classes (1 − Pr(query | class)) .
+//! ```
+//!
+//! Our class construction is the connected-components closure of the
+//! paper's “maximal identifier sets”, with one sound refinement: base
+//! tuples that can feed the *same repair-key group* (same rule, same key
+//! value) are also connected, since exactly-one-of-them choices make
+//! their derived tuples probabilistically dependent even though their
+//! provenance sets are disjoint. Without this, tuples competing in a
+//! choice group could land in different classes and the independence
+//! assumption would be violated.
+
+use crate::exact_noninflationary::{self, ChainBudget};
+use crate::{CoreError, DatalogQuery};
+use pfq_data::{Database, Tuple};
+use pfq_datalog::eval::{head_key, instantiate_head, prepare_database, Valuation};
+use pfq_datalog::{Program, Term};
+use pfq_num::Ratio;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A per-tuple identifier-set annotation, per relation.
+type Annotated = BTreeMap<String, BTreeMap<Tuple, BTreeSet<usize>>>;
+
+/// Simple union–find over base-tuple identifiers.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn union_all(&mut self, ids: &BTreeSet<usize>) {
+        let mut iter = ids.iter();
+        if let Some(&first) = iter.next() {
+            for &other in iter {
+                self.union(first, other);
+            }
+        }
+    }
+}
+
+/// Matches a rule body against annotated relations, returning each
+/// valuation together with the union of the matched tuples' id-sets.
+fn annotated_valuations(
+    body: &[pfq_datalog::Atom],
+    ann: &Annotated,
+) -> Result<Vec<(Valuation, BTreeSet<usize>)>, CoreError> {
+    let mut states: Vec<(Valuation, BTreeSet<usize>)> = vec![(Valuation::new(), BTreeSet::new())];
+    for atom in body {
+        let rel = ann.get(&atom.relation).ok_or_else(|| {
+            CoreError::Datalog(pfq_datalog::DatalogError::UnknownRelation(
+                atom.relation.clone(),
+            ))
+        })?;
+        let mut next = Vec::new();
+        for (val, ids) in &states {
+            'tuples: for (t, t_ids) in rel {
+                if t.arity() != atom.terms.len() {
+                    return Err(CoreError::Datalog(
+                        pfq_datalog::DatalogError::ArityMismatch {
+                            relation: atom.relation.clone(),
+                            expected: t.arity(),
+                            found: atom.terms.len(),
+                        },
+                    ));
+                }
+                let mut extended = val.clone();
+                for (pos, term) in atom.terms.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            if c != t.get(pos) {
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => match extended.get(v) {
+                            Some(bound) if bound != t.get(pos) => continue 'tuples,
+                            Some(_) => {}
+                            None => {
+                                extended.insert(v.clone(), t.get(pos).clone());
+                            }
+                        },
+                    }
+                }
+                let mut merged = ids.clone();
+                merged.extend(t_ids.iter().copied());
+                next.push((extended, merged));
+            }
+        }
+        states = next;
+        if states.is_empty() {
+            break;
+        }
+    }
+    Ok(states)
+}
+
+/// Computes the independence classes of the base tuples: each class is a
+/// sub-database containing its base tuples (IDB relations empty).
+pub fn partition_classes(program: &Program, db: &Database) -> Result<Vec<Database>, CoreError> {
+    if program.has_negation() {
+        // Dependence through *absence* of tuples is not captured by
+        // positive provenance; partitioning a program with negation
+        // could split dependent tuples, so we refuse rather than
+        // silently return wrong classes.
+        return Err(CoreError::Datalog(pfq_datalog::DatalogError::Structure(
+            "partitioning requires a negation-free program".into(),
+        )));
+    }
+    let prepared = prepare_database(program, db)?;
+    let idb: BTreeSet<&str> = program.idb_relations();
+
+    // Assign base ids to EDB tuples (and any pre-populated IDB tuples,
+    // which also count as inputs).
+    let mut ann: Annotated = BTreeMap::new();
+    let mut base: Vec<(String, Tuple)> = Vec::new();
+    for (name, rel) in prepared.iter() {
+        let mut m = BTreeMap::new();
+        for t in rel.iter() {
+            let id = base.len();
+            base.push((name.to_string(), t.clone()));
+            m.insert(t.clone(), BTreeSet::from([id]));
+        }
+        ann.insert(name.to_string(), m);
+    }
+    let n = base.len();
+    let mut uf = UnionFind::new(n);
+
+    // Inflationary provenance fixpoint: treat every rule as deterministic
+    // datalog, but connect ids that (a) co-occur in a derivation, or
+    // (b) compete in the same repair-key group of a probabilistic rule.
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let matches = annotated_valuations(&rule.body, &ann)?;
+            // Group by repair-key key value for probabilistic rules.
+            let mut group_ids: BTreeMap<Tuple, BTreeSet<usize>> = BTreeMap::new();
+            for (val, ids) in &matches {
+                let t = instantiate_head(&rule.head, val).map_err(CoreError::Datalog)?;
+                if !rule.head.is_deterministic() {
+                    let key = head_key(&rule.head, &t);
+                    group_ids
+                        .entry(key)
+                        .or_default()
+                        .extend(ids.iter().copied());
+                }
+                let entry = ann
+                    .get_mut(&rule.head.relation)
+                    .expect("IDB relation prepared")
+                    .entry(t)
+                    .or_default();
+                let before = entry.len();
+                entry.extend(ids.iter().copied());
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+            for ids in group_ids.values() {
+                uf.union_all(ids);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Connect all ids co-occurring in any tuple's final annotation.
+    for rel in ann.values() {
+        for ids in rel.values() {
+            uf.union_all(ids);
+        }
+    }
+
+    // Build one sub-database per class, with all relation names present.
+    let mut class_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut classes: Vec<Database> = Vec::new();
+    let empty_template = {
+        let mut t = Database::new();
+        for (name, rel) in prepared.iter() {
+            let keep_empty = idb.contains(name);
+            let _ = keep_empty;
+            t.declare(name, rel.schema().clone());
+        }
+        t
+    };
+    for (id, (name, tuple)) in base.iter().enumerate() {
+        if idb.contains(name.as_str()) {
+            // Pre-populated IDB tuples stay with their class like any
+            // other base tuple.
+        }
+        let root = uf.find(id);
+        let class_idx = *class_of_root.entry(root).or_insert_with(|| {
+            classes.push(empty_template.clone());
+            classes.len() - 1
+        });
+        classes[class_idx]
+            .insert_tuple(name, tuple.clone())
+            .expect("template has all relations");
+    }
+    Ok(classes)
+}
+
+/// Evaluates a (datalog-defined) non-inflationary query exactly via
+/// partitioning: per-class Theorem 5.5 evaluation combined by the §5.1
+/// product formula.
+pub fn evaluate_partitioned(
+    query: &DatalogQuery,
+    db: &Database,
+    budget: ChainBudget,
+) -> Result<Ratio, CoreError> {
+    let classes = partition_classes(&query.program, db)?;
+    let mut p_not = Ratio::one();
+    for class_db in &classes {
+        let (fq, prepared) = query.to_forever_query(class_db)?;
+        let p = exact_noninflationary::evaluate(&fq, &prepared, budget)?;
+        p_not = p_not.mul_ref(&Ratio::one().sub_ref(&p));
+    }
+    Ok(Ratio::one().sub_ref(&p_not))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use pfq_data::{tuple, Relation, Schema};
+
+    /// Two independent weighted coins: R(k, v, w) with k ∈ {1, 2}.
+    fn coin_db() -> Database {
+        Database::new().with(
+            "R",
+            Relation::from_rows(
+                Schema::new(["k", "v", "w"]),
+                [
+                    tuple![1, 0, 1],
+                    tuple![1, 1, 3],
+                    tuple![2, 0, 1],
+                    tuple![2, 1, 1],
+                ],
+            ),
+        )
+    }
+
+    /// Choose one value per key, fresh each iteration — a memoryless
+    /// non-inflationary kernel whose stationary distribution is the
+    /// product of the per-key choice distributions. (Adding a
+    /// `H(K,V) :- H(K,V)` persistence rule would accumulate *all* values
+    /// with probability → 1, the paper's Example 3.6 effect.)
+    fn coin_program() -> Program {
+        pfq_datalog::parse_program("H(K!, V) @W :- R(K, V, W).").unwrap()
+    }
+
+    #[test]
+    fn classes_split_by_key_group() {
+        let classes = partition_classes(&coin_program(), &coin_db()).unwrap();
+        assert_eq!(classes.len(), 2);
+        for class in &classes {
+            assert_eq!(class.get("R").unwrap().len(), 2);
+            // Each class holds exactly one key's rows.
+            let keys: BTreeSet<_> = class
+                .get("R")
+                .unwrap()
+                .iter()
+                .map(|t| t.get(0).clone())
+                .collect();
+            assert_eq!(keys.len(), 1);
+        }
+    }
+
+    #[test]
+    fn group_competitors_stay_together() {
+        // Rows (1,0) and (1,1) share no derivation, but compete in one
+        // repair-key group — they must not be split.
+        let classes = partition_classes(&coin_program(), &coin_db()).unwrap();
+        for class in &classes {
+            let r = class.get("R").unwrap();
+            if r.contains(&tuple![1, 0, 1]) {
+                assert!(r.contains(&tuple![1, 1, 3]));
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_direct_evaluation() {
+        let query = DatalogQuery::new(coin_program(), Event::tuple_in("H", tuple![1, 1]));
+        let db = coin_db();
+        let direct = {
+            let (fq, prepared) = query.to_forever_query(&db).unwrap();
+            exact_noninflationary::evaluate(&fq, &prepared, ChainBudget::default()).unwrap()
+        };
+        let partitioned = evaluate_partitioned(&query, &db, ChainBudget::default()).unwrap();
+        assert_eq!(direct, partitioned);
+        // Weight 3 out of 4 to land on (1, 1).
+        assert_eq!(partitioned, Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn partitioned_or_event_combines_classes() {
+        // Event: H contains (1,1) OR (2,1) — both classes contribute.
+        let query = DatalogQuery::new(
+            coin_program(),
+            Event::tuple_in("H", tuple![1, 1]).or(Event::tuple_in("H", tuple![2, 1])),
+        );
+        let db = coin_db();
+        let direct = {
+            let (fq, prepared) = query.to_forever_query(&db).unwrap();
+            exact_noninflationary::evaluate(&fq, &prepared, ChainBudget::default()).unwrap()
+        };
+        // 1 − (1 − 3/4)(1 − 1/2) = 7/8.
+        assert_eq!(direct, Ratio::new(7, 8));
+        let partitioned = evaluate_partitioned(&query, &db, ChainBudget::default()).unwrap();
+        assert_eq!(partitioned, direct);
+    }
+
+    #[test]
+    fn derivation_connects_joined_tuples() {
+        // A rule joining A and B connects their tuples into one class.
+        let p = pfq_datalog::parse_program("H(X) :- A(X), B(X).").unwrap();
+        let db = Database::new()
+            .with(
+                "A",
+                Relation::from_rows(Schema::new(["v"]), [tuple![1], tuple![2]]),
+            )
+            .with("B", Relation::from_rows(Schema::new(["v"]), [tuple![1]]));
+        let classes = partition_classes(&p, &db).unwrap();
+        // A(1) and B(1) join → same class; A(2) is alone.
+        assert_eq!(classes.len(), 2);
+        let joint = classes
+            .iter()
+            .find(|c| c.get("A").unwrap().contains(&tuple![1]))
+            .unwrap();
+        assert!(joint.get("B").unwrap().contains(&tuple![1]));
+        assert!(!joint.get("A").unwrap().contains(&tuple![2]));
+    }
+
+    #[test]
+    fn chained_derivations_connect_transitively() {
+        let p = pfq_datalog::parse_program("T(X, Z) :- E(X, Y), E(Y, Z).\nT(X, Y) :- E(X, Y).")
+            .unwrap();
+        let db = Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j"]),
+                [tuple![1, 2], tuple![2, 3], tuple![7, 8]],
+            ),
+        );
+        let classes = partition_classes(&p, &db).unwrap();
+        // (1,2) and (2,3) co-derive 1→3; (7,8) is isolated.
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn no_rules_every_tuple_is_singleton() {
+        let p = pfq_datalog::parse_program("H(X) :- Nothing(X).").unwrap();
+        let db = Database::new()
+            .with("Nothing", Relation::empty(Schema::new(["v"])))
+            .with(
+                "Other",
+                Relation::from_rows(Schema::new(["v"]), [tuple![1], tuple![2]]),
+            );
+        let classes = partition_classes(&p, &db).unwrap();
+        assert_eq!(classes.len(), 2);
+    }
+}

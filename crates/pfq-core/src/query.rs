@@ -1,0 +1,139 @@
+//! The query types: forever-queries (Definition 3.2) and probabilistic
+//! datalog queries (§3.3).
+
+use crate::Event;
+use pfq_algebra::Interpretation;
+use pfq_data::Database;
+use pfq_datalog::{noninflationary, DatalogError, Program};
+use std::fmt;
+
+/// A non-inflationary (forever-)query: a transition kernel plus a query
+/// event. Conceptually evaluated by
+///
+/// ```text
+/// State := the input database;
+/// forever { State := Q(State); }
+/// ```
+///
+/// and returning the probability that the event holds at an arbitrary
+/// point of the infinite random walk (the time-average limit).
+///
+/// An *inflationary query* (Definition 3.4) is a forever-query whose
+/// kernel only grows the database — build one with
+/// [`Interpretation::inflationary`]. Because inflationary runs make the
+/// event monotone (once `t ∈ R`, forever `t ∈ R`), the time-average
+/// result coincides with “probability the event holds at the fixpoint”.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ForeverQuery {
+    /// The transition kernel `Q` (Definition 3.1).
+    pub kernel: Interpretation,
+    /// The query event `e`.
+    pub event: Event,
+}
+
+impl ForeverQuery {
+    /// Builds a forever-query.
+    pub fn new(kernel: Interpretation, event: Event) -> ForeverQuery {
+        ForeverQuery { kernel, event }
+    }
+}
+
+impl fmt::Display for ForeverQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "forever {{ {} }} observe {}", self.kernel, self.event)
+    }
+}
+
+/// A probabilistic datalog query: a program plus a query event, evaluated
+/// under the paper's *inflationary* semantics by default (§3.3), or
+/// translated to a forever-query for the non-inflationary semantics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DatalogQuery {
+    /// The program.
+    pub program: Program,
+    /// The query event, tested on fixpoint databases.
+    pub event: Event,
+}
+
+impl DatalogQuery {
+    /// Builds a datalog query.
+    pub fn new(program: Program, event: Event) -> DatalogQuery {
+        DatalogQuery { program, event }
+    }
+
+    /// Parses the program from source text.
+    pub fn parse(src: &str, event: Event) -> Result<DatalogQuery, DatalogError> {
+        Ok(DatalogQuery {
+            program: pfq_datalog::parse_program(src)?,
+            event,
+        })
+    }
+
+    /// Whether the program is linear datalog (≤ 1 IDB atom per body) —
+    /// the restricted fragment of Theorem 4.1.
+    pub fn is_linear(&self) -> bool {
+        pfq_datalog::linear::is_linear(&self.program)
+    }
+
+    /// Translates to the non-inflationary semantics: the program becomes
+    /// a destructive transition kernel (§3.3's translation), yielding a
+    /// [`ForeverQuery`] over the prepared database.
+    pub fn to_forever_query(
+        &self,
+        db: &Database,
+    ) -> Result<(ForeverQuery, Database), DatalogError> {
+        let (kernel, prepared) = noninflationary::to_interpretation(&self.program, db)?;
+        Ok((ForeverQuery::new(kernel, self.event.clone()), prepared))
+    }
+}
+
+impl fmt::Display for DatalogQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}observe {}", self.program, self.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_data::{tuple, Relation, Schema, Value};
+
+    #[test]
+    fn datalog_query_parse_and_linearity() {
+        let q = DatalogQuery::parse(
+            "C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).",
+            Event::tuple_in("C", tuple!["u"]),
+        )
+        .unwrap();
+        assert!(q.is_linear());
+        assert!(q.program.is_probabilistic());
+    }
+
+    #[test]
+    fn translation_to_forever_query() {
+        let q = DatalogQuery::parse(
+            "C(Y) @P :- C(X), E(X, Y, P).",
+            Event::tuple_in("C", tuple!["u"]),
+        )
+        .unwrap();
+        let db = Database::new()
+            .with(
+                "E",
+                Relation::from_rows(
+                    Schema::new(["i", "j", "p"]),
+                    [tuple!["v", "u", Value::frac(1, 1)]],
+                ),
+            )
+            .with("C", Relation::from_rows(Schema::new(["c0"]), [tuple!["v"]]));
+        let (fq, prepared) = q.to_forever_query(&db).unwrap();
+        assert!(fq.kernel.is_probabilistic());
+        assert!(prepared.contains_relation("C"));
+    }
+
+    #[test]
+    fn display() {
+        let q = DatalogQuery::parse("C(v).", Event::non_empty("C")).unwrap();
+        let s = q.to_string();
+        assert!(s.contains("observe C != {}"));
+    }
+}

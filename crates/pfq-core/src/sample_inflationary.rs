@@ -1,0 +1,205 @@
+//! Randomized absolute approximation for inflationary queries —
+//! Theorem 4.3.
+//!
+//! Each sample draws one world of the input (for pc-table inputs),
+//! runs one random computation path to its fixpoint, and tests the
+//! event; the estimate is the hit fraction over `m` samples, with
+//! `m ≥ ln(2/δ)/(2ε²)` by the (additive) Chernoff–Hoeffding bound, so
+//! `Pr(|p̂ − p| ≤ ε) ≥ 1 − δ`. The cost of a sample is polynomial in the
+//! database size, making the whole algorithm PTIME data complexity.
+
+use crate::{CoreError, DatalogQuery};
+use pfq_ctable::PcDatabase;
+use pfq_data::Database;
+use pfq_datalog::inflationary::sample_fixpoint;
+use rand::Rng;
+
+/// Defensive cap on inflationary steps per sample; the semantics
+/// guarantees termination long before this for any sane database.
+const MAX_STEPS_PER_SAMPLE: usize = 1_000_000;
+
+/// The number of samples the additive Chernoff–Hoeffding bound requires
+/// for `Pr(|p̂ − p| ≤ epsilon) ≥ 1 − delta`.
+pub fn hoeffding_sample_count(epsilon: f64, delta: f64) -> Result<usize, CoreError> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(CoreError::BadParameter(format!(
+            "epsilon {epsilon} not in (0, 1)"
+        )));
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(CoreError::BadParameter(format!(
+            "delta {delta} not in (0, 1)"
+        )));
+    }
+    Ok(((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize)
+}
+
+/// The result of a sampling run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleEstimate {
+    /// The estimated event probability.
+    pub estimate: f64,
+    /// How many samples were drawn.
+    pub samples: usize,
+}
+
+/// Estimates the query probability over a certain input database with an
+/// explicit sample count.
+pub fn evaluate_with_samples<R: Rng + ?Sized>(
+    query: &DatalogQuery,
+    db: &Database,
+    samples: usize,
+    rng: &mut R,
+) -> Result<SampleEstimate, CoreError> {
+    if samples == 0 {
+        return Err(CoreError::BadParameter("samples must be positive".into()));
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let fixpoint = sample_fixpoint(&query.program, db, rng, MAX_STEPS_PER_SAMPLE)?;
+        if query.event.holds(&fixpoint) {
+            hits += 1;
+        }
+    }
+    Ok(SampleEstimate {
+        estimate: hits as f64 / samples as f64,
+        samples,
+    })
+}
+
+/// Theorem 4.3 over a certain input: absolute `(ε, δ)`-approximation.
+pub fn evaluate<R: Rng + ?Sized>(
+    query: &DatalogQuery,
+    db: &Database,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<SampleEstimate, CoreError> {
+    let m = hoeffding_sample_count(epsilon, delta)?;
+    evaluate_with_samples(query, db, m, rng)
+}
+
+/// Theorem 4.3 over a probabilistic c-table input: each sample first
+/// draws one value per independent variable (the “probabilistic choices
+/// … take place only once, at the beginning”, §3.2), then runs the
+/// inflationary engine on the resulting world.
+pub fn evaluate_pc<R: Rng + ?Sized>(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<SampleEstimate, CoreError> {
+    let m = hoeffding_sample_count(epsilon, delta)?;
+    let mut hits = 0usize;
+    for _ in 0..m {
+        let world = input.sample_world(rng)?;
+        let fixpoint = sample_fixpoint(&query.program, &world, rng, MAX_STEPS_PER_SAMPLE)?;
+        if query.event.holds(&fixpoint) {
+            hits += 1;
+        }
+    }
+    Ok(SampleEstimate {
+        estimate: hits as f64 / m as f64,
+        samples: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_inflationary::{self, ExactBudget};
+    use crate::Event;
+    use pfq_ctable::{Condition, PcTable, RandomVariable};
+    use pfq_data::{tuple, Relation, Schema, Value};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn reach_query(target: &str) -> DatalogQuery {
+        DatalogQuery::parse(
+            "C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).",
+            Event::tuple_in("C", tuple![target]),
+        )
+        .unwrap()
+    }
+
+    fn fork_db() -> Database {
+        Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [
+                    tuple!["v", "w", Value::frac(1, 2)],
+                    tuple!["v", "u", Value::frac(1, 2)],
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn sample_counts() {
+        // ln(2/0.05)/(2·0.1²) = ln(40)/0.02 ≈ 184.4 → 185.
+        assert_eq!(hoeffding_sample_count(0.1, 0.05).unwrap(), 185);
+        assert!(hoeffding_sample_count(0.01, 0.05).unwrap() > 10_000);
+        assert!(hoeffding_sample_count(0.0, 0.05).is_err());
+        assert!(hoeffding_sample_count(0.1, 1.5).is_err());
+        assert!(hoeffding_sample_count(1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn estimate_close_to_exact() {
+        let query = reach_query("w");
+        let db = fork_db();
+        let exact = exact_inflationary::evaluate(&query, &db, ExactBudget::default())
+            .unwrap()
+            .to_f64();
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let est = evaluate(&query, &db, 0.05, 0.05, &mut rng).unwrap();
+        assert!(
+            (est.estimate - exact).abs() < 0.05,
+            "{} vs {exact}",
+            est.estimate
+        );
+        assert_eq!(est.samples, hoeffding_sample_count(0.05, 0.05).unwrap());
+    }
+
+    #[test]
+    fn deterministic_events_hit_zero_or_one() {
+        let query = reach_query("v");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let est = evaluate_with_samples(&query, &fork_db(), 50, &mut rng).unwrap();
+        assert_eq!(est.estimate, 1.0);
+        let query = reach_query("nowhere");
+        let est = evaluate_with_samples(&query, &fork_db(), 50, &mut rng).unwrap();
+        assert_eq!(est.estimate, 0.0);
+    }
+
+    #[test]
+    fn pc_input_estimate() {
+        let mut input = PcDatabase::new();
+        input
+            .declare_variable(RandomVariable::fair_coin("x"))
+            .unwrap();
+        input.add_table(
+            "E",
+            PcTable::new(Schema::new(["i", "j", "p"]))
+                .with(tuple!["v", "w", 1], Condition::eq("x", 1)),
+        );
+        let query = reach_query("w");
+        let exact = exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default())
+            .unwrap()
+            .to_f64();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let est = evaluate_pc(&query, &input, 0.05, 0.05, &mut rng).unwrap();
+        assert!((est.estimate - exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(matches!(
+            evaluate_with_samples(&reach_query("w"), &fork_db(), 0, &mut rng),
+            Err(CoreError::BadParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! Tuple conditions: boolean combinations of (in)equalities over
+//! variables and constants (Definition 2.1).
+
+use crate::var::Valuation;
+use pfq_data::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A condition attached to a c-table tuple.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Condition {
+    /// Always true (a certain tuple).
+    True,
+    /// `variable = constant`.
+    Eq(String, Value),
+    /// `variable ≠ constant`.
+    Ne(String, Value),
+    /// `variable_a = variable_b`.
+    VarEq(String, String),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `var = value` helper.
+    pub fn eq(var: impl Into<String>, v: impl Into<Value>) -> Condition {
+        Condition::Eq(var.into(), v.into())
+    }
+
+    /// `var ≠ value` helper.
+    pub fn ne(var: impl Into<String>, v: impl Into<Value>) -> Condition {
+        Condition::Ne(var.into(), v.into())
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper (a DSL combinator, deliberately named like
+    /// the logical operation rather than implementing `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Evaluates under a valuation. Missing variables are an `Err` — a
+    /// condition over an undeclared variable is a schema bug the caller
+    /// should surface, not silently falsify.
+    pub fn eval(&self, valuation: &Valuation) -> Result<bool, String> {
+        let lookup = |name: &str| -> Result<&Value, String> {
+            valuation
+                .get(name)
+                .ok_or_else(|| format!("condition references undeclared variable {name:?}"))
+        };
+        Ok(match self {
+            Condition::True => true,
+            Condition::Eq(x, v) => lookup(x)? == v,
+            Condition::Ne(x, v) => lookup(x)? != v,
+            Condition::VarEq(x, y) => lookup(x)? == lookup(y)?,
+            Condition::And(a, b) => a.eval(valuation)? && b.eval(valuation)?,
+            Condition::Or(a, b) => a.eval(valuation)? || b.eval(valuation)?,
+            Condition::Not(c) => !c.eval(valuation)?,
+        })
+    }
+
+    /// Names of all variables the condition mentions.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Condition::True => {}
+            Condition::Eq(x, _) | Condition::Ne(x, _) => {
+                out.insert(x.clone());
+            }
+            Condition::VarEq(x, y) => {
+                out.insert(x.clone());
+                out.insert(y.clone());
+            }
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Condition::Not(c) => c.collect_vars(out),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "true"),
+            Condition::Eq(x, v) => write!(f, "{x} = {v}"),
+            Condition::Ne(x, v) => write!(f, "{x} != {v}"),
+            Condition::VarEq(x, y) => write!(f, "{x} = {y}"),
+            Condition::And(a, b) => write!(f, "({a} and {b})"),
+            Condition::Or(a, b) => write!(f, "({a} or {b})"),
+            Condition::Not(c) => write!(f, "not {c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(pairs: &[(&str, i64)]) -> Valuation {
+        pairs
+            .iter()
+            .map(|(n, v)| (n.to_string(), Value::int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        let v = val(&[("x", 0), ("y", 1)]);
+        assert!(Condition::True.eval(&v).unwrap());
+        assert!(Condition::eq("x", 0).eval(&v).unwrap());
+        assert!(!Condition::eq("x", 1).eval(&v).unwrap());
+        assert!(Condition::ne("x", 1).eval(&v).unwrap());
+        assert!(!Condition::VarEq("x".into(), "y".into()).eval(&v).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let v = val(&[("x", 0), ("y", 1)]);
+        let c = Condition::eq("x", 0).and(Condition::eq("y", 1));
+        assert!(c.eval(&v).unwrap());
+        let d = Condition::eq("x", 9).or(Condition::eq("y", 1));
+        assert!(d.eval(&v).unwrap());
+        assert!(!d.not().eval(&v).unwrap());
+    }
+
+    #[test]
+    fn missing_variable_is_error() {
+        let v = val(&[("x", 0)]);
+        assert!(Condition::eq("z", 0).eval(&v).is_err());
+    }
+
+    #[test]
+    fn variable_collection() {
+        let c = Condition::eq("a", 0)
+            .and(Condition::ne("b", 1))
+            .or(Condition::VarEq("c".into(), "a".into()).not());
+        let vars: Vec<String> = c.variables().into_iter().collect();
+        assert_eq!(
+            vars,
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert!(Condition::True.variables().is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let c = Condition::eq("x", 0).and(Condition::True.not());
+        assert_eq!(c.to_string(), "(x = 0 and not true)");
+    }
+}

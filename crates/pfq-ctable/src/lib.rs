@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Probabilistic c-tables (paper Definition 2.1).
+//!
+//! A pc-table is a relation whose tuples carry boolean conditions over
+//! independent discrete random variables; a possible world is a valuation
+//! of the variables, keeping exactly the tuples whose conditions hold.
+//!
+//! Two evaluation routes are provided, mirroring the paper:
+//!
+//! * **direct semantics** ([`PcDatabase::enumerate_worlds`] /
+//!   [`PcDatabase::sample_world`]) — iterate or sample variable
+//!   valuations;
+//! * **the repair-key macro** ([`translate`]) — compile a pc-table into a
+//!   relational-algebra expression over `repair-key`, demonstrating the
+//!   paper's observation that “pc-tables … may be simply viewed as
+//!   ‘macros’” (§3.1). Note the scope caveat documented on
+//!   [`translate::pc_table_expr`].
+
+pub mod condition;
+pub mod ctable;
+pub mod translate;
+pub mod var;
+
+pub use condition::Condition;
+pub use ctable::{CtableError, PcDatabase, PcTable};
+pub use var::{RandomVariable, Valuation};

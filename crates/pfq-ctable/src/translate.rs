@@ -1,0 +1,313 @@
+//! The repair-key “macro”: compiling a pc-table to a relational-algebra
+//! expression (paper §3.1: “we can view such a pc-table as a macro for the
+//! corresponding algebraic expression that uses the repair-key
+//! construct”).
+//!
+//! The compilation scheme, for a table `R` with rows `(t_i, cond_i)` over
+//! variables `x_1 … x_k`:
+//!
+//! 1. **Choice** — one single-row relation carrying the sampled valuation:
+//!    `Choice = ⨯_j π_{__var_xj}(repair-key∅@__w(Const(outcomes(x_j))))`.
+//!    Each `repair-key∅@P` picks exactly one outcome of one variable, and
+//!    the product combines the independent picks; `Choice` thus has one
+//!    column per variable and exactly one row.
+//! 2. **Rows** — a constant relation `(__row, …R columns…)` with one
+//!    entry per conditioned tuple.
+//! 3. `R = π_{R columns}(σ_φ(Rows ⋈ Choice))` where
+//!    `φ = ⋁_i (__row = i ∧ pred(cond_i))` — the conditions rewritten over
+//!    the `__var_*` columns.
+//!
+//! Because `Choice` occurs *once*, all conditions of one table see the
+//! same sampled valuation. Variables shared across *different* tables,
+//! however, are resampled independently by each table's kernel (kernels
+//! are independent by Definition 3.1) — the macro is exact for pc-tables
+//! whose variables are table-local, which covers every construction in
+//! the paper; use the direct semantics in `ctable` otherwise.
+
+use crate::condition::Condition;
+use crate::ctable::{CtableError, PcDatabase, PcTable};
+use crate::var::RandomVariable;
+use pfq_algebra::{Expr, Interpretation, Pred};
+use pfq_data::{Relation, Schema, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Column name carrying variable `name` in the `Choice` relation.
+fn var_column(name: &str) -> String {
+    format!("__var_{name}")
+}
+
+const ROW_COLUMN: &str = "__row";
+const WEIGHT_COLUMN: &str = "__w";
+
+/// Builds the single-row `Choice` expression for the given variables.
+///
+/// Returns `Expr::Const` of the 0-ary one-tuple relation when `vars` is
+/// empty, so joining with it is the identity.
+pub fn choice_expr(vars: &[RandomVariable]) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for var in vars {
+        let col = var_column(var.name());
+        let schema = Schema::new([col.clone(), WEIGHT_COLUMN.to_string()]);
+        let rel = Relation::from_rows(
+            schema,
+            var.outcomes()
+                .iter()
+                .map(|(v, p)| Tuple::new(vec![v.clone(), Value::ratio(p.clone())])),
+        );
+        let pick = Expr::constant(rel)
+            .repair_key([] as [&str; 0], Some(WEIGHT_COLUMN))
+            .project([col]);
+        acc = Some(match acc {
+            None => pick,
+            Some(e) => e.product(pick),
+        });
+    }
+    acc.unwrap_or_else(|| Expr::constant(Relation::from_rows(Schema::empty(), [Tuple::empty()])))
+}
+
+/// Rewrites a tuple condition as a selection predicate over the
+/// `__var_*` columns of the `Choice` relation.
+pub fn condition_to_pred(cond: &Condition) -> Pred {
+    match cond {
+        Condition::True => Pred::True,
+        Condition::Eq(x, v) => Pred::col_eq(var_column(x), v.clone()),
+        Condition::Ne(x, v) => Pred::col_eq(var_column(x), v.clone()).not(),
+        Condition::VarEq(x, y) => Pred::cols_eq(var_column(x), var_column(y)),
+        Condition::And(a, b) => condition_to_pred(a).and(condition_to_pred(b)),
+        Condition::Or(a, b) => condition_to_pred(a).or(condition_to_pred(b)),
+        Condition::Not(c) => condition_to_pred(c).not(),
+    }
+}
+
+/// Compiles one pc-table into an algebra expression whose possible
+/// worlds are exactly the table's possible worlds.
+///
+/// `vars` must cover every variable the table's conditions mention
+/// (checked), and the table's schema must not use the reserved `__`
+/// prefix.
+pub fn pc_table_expr(table: &PcTable, vars: &[RandomVariable]) -> Result<Expr, CtableError> {
+    for c in table.schema().columns() {
+        assert!(
+            !c.starts_with("__"),
+            "pc-table columns must not use the reserved __ prefix: {c:?}"
+        );
+    }
+    let declared: BTreeSet<&str> = vars.iter().map(RandomVariable::name).collect();
+    let used = table.variables();
+    for v in &used {
+        if !declared.contains(v.as_str()) {
+            return Err(CtableError::UndeclaredVariable(v.clone()));
+        }
+    }
+    // Keep only the variables this table actually mentions: fewer
+    // repair-key groups, identical distribution after projection.
+    let local: Vec<RandomVariable> = vars
+        .iter()
+        .filter(|v| used.contains(v.name()))
+        .cloned()
+        .collect();
+
+    // Rows relation: (__row, …table columns…).
+    let mut row_cols = vec![ROW_COLUMN.to_string()];
+    row_cols.extend(table.schema().columns().iter().cloned());
+    let rows_rel = Relation::from_rows(
+        Schema::new(row_cols),
+        table.rows().iter().enumerate().map(|(i, (t, _))| {
+            let mut vals = vec![Value::int(i as i64)];
+            vals.extend(t.values().iter().cloned());
+            Tuple::new(vals)
+        }),
+    );
+
+    // φ = ⋁_i (__row = i ∧ pred_i); an empty table selects nothing.
+    let mut phi: Option<Pred> = None;
+    for (i, (_, cond)) in table.rows().iter().enumerate() {
+        let clause = Pred::col_eq(ROW_COLUMN, i as i64).and(condition_to_pred(cond));
+        phi = Some(match phi {
+            None => clause,
+            Some(p) => p.or(clause),
+        });
+    }
+    let phi = phi.unwrap_or_else(|| Pred::True.not());
+
+    let keep: Vec<String> = table.schema().columns().to_vec();
+    Ok(Expr::constant(rows_rel)
+        .join(choice_expr(&local))
+        .select(phi)
+        .project(keep))
+}
+
+/// Compiles a whole pc-database into a transition-kernel
+/// [`Interpretation`]: one macro kernel per pc-table. Under the
+/// non-inflationary semantics this re-samples the pc-tables at every
+/// iteration, exactly as §3.1 prescribes.
+///
+/// Errors if any two tables share a variable (see the module caveat).
+pub fn pc_database_kernels(db: &PcDatabase) -> Result<Interpretation, CtableError> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut interp = Interpretation::new();
+    for (name, table) in db.tables() {
+        for v in table.variables() {
+            if !seen.insert(v.clone()) {
+                return Err(CtableError::Eval(format!(
+                    "variable {v:?} is shared across tables; the repair-key macro \
+                     cannot correlate kernels — use the direct pc-table semantics"
+                )));
+            }
+        }
+        interp.define(name.clone(), pc_table_expr(table, db.variables())?);
+    }
+    Ok(interp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_algebra::eval;
+    use pfq_data::{tuple, Database};
+    use pfq_num::{Distribution, Ratio};
+
+    fn coin_table() -> (PcTable, Vec<RandomVariable>) {
+        let table = PcTable::new(Schema::new(["l"]))
+            .with(tuple!["v"], Condition::eq("x", 0))
+            .with(tuple!["not_v"], Condition::eq("x", 1));
+        (table, vec![RandomVariable::fair_coin("x")])
+    }
+
+    /// Enumerate the worlds of a compiled expression on an empty db.
+    fn worlds_of(expr: &Expr) -> Distribution<Relation> {
+        eval::enumerate(expr, &Database::new(), None).unwrap()
+    }
+
+    #[test]
+    fn macro_matches_direct_semantics_single_var() {
+        let (table, vars) = coin_table();
+        let expr = pc_table_expr(&table, &vars).unwrap();
+        let worlds = worlds_of(&expr);
+        assert!(worlds.is_proper());
+        assert_eq!(worlds.support_size(), 2);
+        let v_world = Relation::from_rows(Schema::new(["l"]), [tuple!["v"]]);
+        assert_eq!(worlds.mass(&v_world), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn macro_correlates_rows_sharing_a_variable() {
+        // Both rows need x = 1: worlds are ∅ or {1, 2}, never a singleton.
+        let table = PcTable::new(Schema::new(["v"]))
+            .with(tuple![1], Condition::eq("x", 1))
+            .with(tuple![2], Condition::eq("x", 1));
+        let vars = vec![RandomVariable::fair_coin("x")];
+        let worlds = worlds_of(&pc_table_expr(&table, &vars).unwrap());
+        assert_eq!(worlds.support_size(), 2);
+        for (w, p) in worlds.iter() {
+            assert!(w.is_empty() || w.len() == 2);
+            assert_eq!(p, &Ratio::new(1, 2));
+        }
+    }
+
+    #[test]
+    fn macro_matches_direct_on_compound_conditions() {
+        let table = PcTable::new(Schema::new(["v"]))
+            .with(tuple![1], Condition::eq("x", 1).and(Condition::eq("y", 0)))
+            .with(tuple![2], Condition::eq("x", 0).or(Condition::eq("y", 1)));
+        let vars = vec![
+            RandomVariable::fair_coin("x"),
+            RandomVariable::fair_coin("y"),
+        ];
+        let worlds = worlds_of(&pc_table_expr(&table, &vars).unwrap());
+        assert!(worlds.is_proper());
+        // Direct computation: tuple1 ⇔ x=1∧y=0 (1/4);
+        // tuple2 ⇔ x=0∨y=1 (3/4); they are disjoint iff… enumerate:
+        // (x,y) = (0,0): {2}; (0,1): {2}; (1,0): {1}; (1,1): {2}.
+        let w1 = Relation::from_rows(Schema::new(["v"]), [tuple![1]]);
+        let w2 = Relation::from_rows(Schema::new(["v"]), [tuple![2]]);
+        assert_eq!(worlds.mass(&w1), Ratio::new(1, 4));
+        assert_eq!(worlds.mass(&w2), Ratio::new(3, 4));
+    }
+
+    #[test]
+    fn macro_handles_certain_rows_and_empty_tables() {
+        let certain = PcTable::new(Schema::new(["v"])).with(tuple![7], Condition::True);
+        let worlds = worlds_of(&pc_table_expr(&certain, &[]).unwrap());
+        assert_eq!(worlds.support_size(), 1);
+        let (only, p) = worlds.iter().next().unwrap();
+        assert_eq!(only.len(), 1);
+        assert!(p.is_one());
+
+        let empty = PcTable::new(Schema::new(["v"]));
+        let worlds = worlds_of(&pc_table_expr(&empty, &[]).unwrap());
+        assert_eq!(worlds.support_size(), 1);
+        assert!(worlds.iter().next().unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn macro_distribution_equals_direct_enumeration() {
+        // Full equivalence check against ctable::enumerate_worlds.
+        let mut db = PcDatabase::new();
+        db.declare_variable(RandomVariable::new(
+            "x",
+            [
+                (Value::int(0), Ratio::new(1, 3)),
+                (Value::int(1), Ratio::new(2, 3)),
+            ],
+        ))
+        .unwrap();
+        let table = PcTable::new(Schema::new(["v"]))
+            .with(tuple![1], Condition::eq("x", 0))
+            .with(tuple![2], Condition::ne("x", 0));
+        db.add_table("R", table.clone());
+
+        let direct = db
+            .enumerate_worlds()
+            .unwrap()
+            .map(|w| w.get("R").unwrap().clone());
+        let macroed = worlds_of(&pc_table_expr(&table, db.variables()).unwrap());
+        assert_eq!(direct.support_size(), macroed.support_size());
+        for (rel, p) in direct.iter() {
+            assert_eq!(&macroed.mass(rel), p);
+        }
+    }
+
+    #[test]
+    fn kernels_reject_cross_table_variables() {
+        let mut db = PcDatabase::new();
+        db.declare_variable(RandomVariable::fair_coin("x")).unwrap();
+        db.add_table(
+            "R",
+            PcTable::new(Schema::new(["v"])).with(tuple![1], Condition::eq("x", 0)),
+        );
+        db.add_table(
+            "S",
+            PcTable::new(Schema::new(["w"])).with(tuple![2], Condition::eq("x", 1)),
+        );
+        assert!(pc_database_kernels(&db).is_err());
+    }
+
+    #[test]
+    fn kernels_build_for_local_variables() {
+        let mut db = PcDatabase::new();
+        db.declare_variable(RandomVariable::fair_coin("x")).unwrap();
+        db.declare_variable(RandomVariable::fair_coin("y")).unwrap();
+        db.add_table(
+            "R",
+            PcTable::new(Schema::new(["v"])).with(tuple![1], Condition::eq("x", 0)),
+        );
+        db.add_table(
+            "S",
+            PcTable::new(Schema::new(["w"])).with(tuple![2], Condition::eq("y", 1)),
+        );
+        let interp = pc_database_kernels(&db).unwrap();
+        assert!(interp.kernel("R").is_some());
+        assert!(interp.kernel("S").is_some());
+        assert!(interp.is_probabilistic());
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        let (table, _) = coin_table();
+        assert!(matches!(
+            pc_table_expr(&table, &[]),
+            Err(CtableError::UndeclaredVariable(_))
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Independent discrete random variables and their valuations.
+
+use pfq_data::Value;
+use pfq_num::{Distribution, Ratio};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named discrete random variable with an explicit finite distribution.
+///
+/// The paper fixes WLOG that a pc-table's variables are independent, so a
+/// joint distribution is just the product of these marginals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RandomVariable {
+    name: String,
+    /// `(value, probability)` in value order; probabilities sum to 1.
+    outcomes: Vec<(Value, Ratio)>,
+}
+
+impl RandomVariable {
+    /// Builds a variable; panics unless the probabilities are positive
+    /// and sum to exactly 1 (a malformed distribution is a construction
+    /// bug, not a data condition).
+    pub fn new(
+        name: impl Into<String>,
+        outcomes: impl IntoIterator<Item = (Value, Ratio)>,
+    ) -> RandomVariable {
+        let name = name.into();
+        let mut outcomes: Vec<(Value, Ratio)> = outcomes.into_iter().collect();
+        outcomes.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(!outcomes.is_empty(), "variable {name:?} has no outcomes");
+        for (v, p) in &outcomes {
+            assert!(
+                p.is_positive(),
+                "variable {name:?}: outcome {v} has mass {p}"
+            );
+        }
+        for w in outcomes.windows(2) {
+            assert!(
+                w[0].0 != w[1].0,
+                "variable {name:?}: duplicate outcome {}",
+                w[0].0
+            );
+        }
+        let total: Ratio = outcomes.iter().map(|(_, p)| p).sum();
+        assert!(total.is_one(), "variable {name:?}: total mass {total} != 1");
+        RandomVariable { name, outcomes }
+    }
+
+    /// A fair boolean variable over `{0, 1}` — the Pr = 1/2 literals of
+    /// the paper's 3-SAT reductions.
+    pub fn fair_coin(name: impl Into<String>) -> RandomVariable {
+        RandomVariable::new(
+            name,
+            [
+                (Value::int(0), Ratio::new(1, 2)),
+                (Value::int(1), Ratio::new(1, 2)),
+            ],
+        )
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `(value, probability)` outcomes in value order.
+    pub fn outcomes(&self) -> &[(Value, Ratio)] {
+        &self.outcomes
+    }
+
+    /// The marginal as a [`Distribution`].
+    pub fn distribution(&self) -> Distribution<Value> {
+        self.outcomes.iter().cloned().collect()
+    }
+}
+
+impl fmt::Display for RandomVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~ {{", self.name)?;
+        for (i, (v, p)) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}: {p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A total assignment of values to variables.
+pub type Valuation = BTreeMap<String, Value>;
+
+/// Exactly enumerates the joint distribution of independent variables.
+pub fn enumerate_valuations(vars: &[RandomVariable]) -> Distribution<Valuation> {
+    let mut joint = Distribution::singleton(Valuation::new());
+    for var in vars {
+        joint = joint.product(&var.distribution(), |val, v| {
+            let mut next = val.clone();
+            next.insert(var.name().to_string(), v.clone());
+            next
+        });
+    }
+    joint
+}
+
+/// Samples one joint valuation.
+pub fn sample_valuation<R: rand::Rng + ?Sized>(vars: &[RandomVariable], rng: &mut R) -> Valuation {
+    let mut out = Valuation::new();
+    for var in vars {
+        let weights: Vec<Ratio> = var.outcomes().iter().map(|(_, p)| p.clone()).collect();
+        let i = pfq_num::dist::pick_weighted_index(&weights, rng.gen::<u64>());
+        out.insert(var.name().to_string(), var.outcomes()[i].0.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fair_coin_is_proper() {
+        let x = RandomVariable::fair_coin("x");
+        assert_eq!(x.outcomes().len(), 2);
+        assert!(x.distribution().is_proper());
+        assert_eq!(x.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "total mass")]
+    fn improper_distribution_panics() {
+        RandomVariable::new("x", [(Value::int(0), Ratio::new(1, 3))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate outcome")]
+    fn duplicate_outcome_panics() {
+        RandomVariable::new(
+            "x",
+            [
+                (Value::int(0), Ratio::new(1, 2)),
+                (Value::int(0), Ratio::new(1, 2)),
+            ],
+        );
+    }
+
+    #[test]
+    fn joint_enumeration_multiplies() {
+        let vars = vec![
+            RandomVariable::fair_coin("x"),
+            RandomVariable::fair_coin("y"),
+        ];
+        let joint = enumerate_valuations(&vars);
+        assert_eq!(joint.support_size(), 4);
+        assert!(joint.is_proper());
+        let want: Valuation = [
+            ("x".to_string(), Value::int(1)),
+            ("y".to_string(), Value::int(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(joint.mass(&want), Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn biased_variable_sampling() {
+        let x = RandomVariable::new(
+            "x",
+            [
+                (Value::int(0), Ratio::new(1, 4)),
+                (Value::int(1), Ratio::new(3, 4)),
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| sample_valuation(std::slice::from_ref(&x), &mut rng)["x"] == Value::int(1))
+            .count();
+        assert!((ones as f64 / n as f64 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_variable_list() {
+        let joint = enumerate_valuations(&[]);
+        assert_eq!(joint.support_size(), 1);
+        assert!(joint.is_proper());
+    }
+}

@@ -1,0 +1,180 @@
+//! Atomic values stored in tuples.
+
+use pfq_num::Ratio;
+use std::fmt;
+use std::sync::Arc;
+
+/// An atomic database value.
+///
+/// Probability-weight columns (the `P` column of `repair-key A⃗@P`, edge
+/// weights, conditional-probability-table entries) hold exact [`Ratio`]s,
+/// so the whole engine stays exact end to end. The variant order defines
+/// the cross-type total order (ints < strings < ratios), which only needs
+/// to be *consistent*, not meaningful.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A 64-bit integer (node ids, clause indices, boolean 0/1 flags…).
+    Int(i64),
+    /// An interned string constant (names, labels).
+    Str(Arc<str>),
+    /// An exact rational, used for probability weights.
+    Ratio(Ratio),
+}
+
+impl Value {
+    /// Integer constructor.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// String constructor.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Rational constructor.
+    pub fn ratio(r: Ratio) -> Value {
+        Value::Ratio(r)
+    }
+
+    /// Convenience rational constructor from machine integers.
+    pub fn frac(num: i64, den: i64) -> Value {
+        Value::Ratio(Ratio::new(num, den))
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The rational payload, if this is a `Ratio`.
+    pub fn as_ratio(&self) -> Option<&Ratio> {
+        match self {
+            Value::Ratio(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a repair-key weight: `Int` and `Ratio`
+    /// values convert, anything else (or a non-positive weight) is an
+    /// error, matching the paper's requirement that weight columns contain
+    /// “only numerical values which are all greater than zero”.
+    pub fn as_weight(&self) -> Result<Ratio, String> {
+        let r = match self {
+            Value::Int(v) => Ratio::from_integer(*v),
+            Value::Ratio(r) => r.clone(),
+            Value::Str(s) => return Err(format!("weight column holds non-numeric value {s:?}")),
+        };
+        if r.is_positive() {
+            Ok(r)
+        } else {
+            Err(format!("weight column holds non-positive value {r}"))
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Ratio> for Value {
+    fn from(r: Ratio) -> Self {
+        Value::Ratio(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ratio(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ratio(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::int(3).as_str(), None);
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::frac(1, 2).as_ratio(), Some(&Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn weights() {
+        assert_eq!(Value::int(17).as_weight(), Ok(Ratio::from_integer(17)));
+        assert_eq!(Value::frac(1, 2).as_weight(), Ok(Ratio::new(1, 2)));
+        assert!(Value::int(0).as_weight().is_err());
+        assert!(Value::int(-1).as_weight().is_err());
+        assert!(Value::str("x").as_weight().is_err());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::frac(1, 2),
+            Value::str("b"),
+            Value::int(10),
+            Value::str("a"),
+            Value::int(-3),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::int(-3),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b"),
+                Value::frac(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(Value::str("lakers").to_string(), "lakers");
+        assert_eq!(Value::frac(17, 20).to_string(), "17/20");
+    }
+
+    #[test]
+    fn equality_after_interning() {
+        assert_eq!(Value::str("x"), Value::str("x"));
+        assert_ne!(Value::str("x"), Value::int(0));
+    }
+}

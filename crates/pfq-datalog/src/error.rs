@@ -1,0 +1,113 @@
+//! Datalog errors: parse errors and evaluation errors.
+
+use std::fmt;
+
+/// An error from parsing or evaluating a datalog program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DatalogError {
+    /// Syntax error with line/column and message.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based source column.
+        col: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A body atom refers to a relation missing from the database.
+    UnknownRelation(String),
+    /// An atom's term count does not match its relation's arity.
+    ArityMismatch {
+        /// The relation the atom refers to.
+        relation: String,
+        /// The relation's declared arity.
+        expected: usize,
+        /// The atom's term count.
+        found: usize,
+    },
+    /// A head variable (or the `@` weight variable) not bound by the body.
+    UnsafeRule {
+        /// The offending rule (rendered).
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+    },
+    /// A rule's weight variable bound to a non-positive / non-numeric value.
+    BadWeight(String),
+    /// The same relation appears as both EDB input and rule head in a
+    /// context that forbids it, or other structural problems.
+    Structure(String),
+    /// Exact enumeration exceeded a configured budget.
+    BudgetExceeded {
+        /// What ran out (e.g. computation-tree nodes).
+        what: &'static str,
+        /// The configured budget.
+        limit: usize,
+    },
+    /// An error from the algebra layer during translation/evaluation.
+    Algebra(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            DatalogError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            DatalogError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "atom over {relation:?} has {found} terms but the relation has arity {expected}"
+            ),
+            DatalogError::UnsafeRule { rule, variable } => {
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: variable {variable:?} not bound by the body"
+                )
+            }
+            DatalogError::BadWeight(msg) => write!(f, "bad rule weight: {msg}"),
+            DatalogError::Structure(msg) => write!(f, "program structure error: {msg}"),
+            DatalogError::BudgetExceeded { what, limit } => {
+                write!(f, "{what} exceeded the budget of {limit}")
+            }
+            DatalogError::Algebra(msg) => write!(f, "algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<pfq_algebra::AlgebraError> for DatalogError {
+    fn from(e: pfq_algebra::AlgebraError) -> Self {
+        DatalogError::Algebra(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DatalogError::Parse {
+            line: 3,
+            col: 7,
+            message: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `)`");
+        assert!(DatalogError::UnknownRelation("E".into())
+            .to_string()
+            .contains("\"E\""));
+        assert!(DatalogError::ArityMismatch {
+            relation: "E".into(),
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("arity 3"));
+    }
+}

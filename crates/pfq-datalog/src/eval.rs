@@ -1,0 +1,388 @@
+//! Body-valuation computation — the `valuations of the body of r` step of
+//! the paper's inflationary pseudocode, shared by every engine.
+
+use crate::ast::{Atom, Head, Program, Rule, Term};
+use crate::DatalogError;
+use pfq_data::{Database, Relation, Schema, Tuple, Value};
+use pfq_num::Ratio;
+use std::collections::BTreeMap;
+
+/// A variable assignment produced by matching a rule body.
+pub type Valuation = BTreeMap<String, Value>;
+
+/// Computes all valuations of `body` against `db`, with optional per-atom
+/// relation overrides (used by semi-naive deltas): `overrides[i]`, when
+/// present, replaces the relation of the `i`-th atom.
+pub fn body_valuations(
+    body: &[Atom],
+    db: &Database,
+    overrides: &BTreeMap<usize, &Relation>,
+) -> Result<Vec<Valuation>, DatalogError> {
+    let mut vals: Vec<Valuation> = vec![Valuation::new()];
+    for (i, atom) in body.iter().enumerate() {
+        let rel = match overrides.get(&i) {
+            Some(r) => *r,
+            None => db
+                .get(&atom.relation)
+                .ok_or_else(|| DatalogError::UnknownRelation(atom.relation.clone()))?,
+        };
+        if rel.schema().arity() != atom.terms.len() {
+            return Err(DatalogError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: rel.schema().arity(),
+                found: atom.terms.len(),
+            });
+        }
+        let mut next = Vec::new();
+        for val in &vals {
+            'tuples: for t in rel.iter() {
+                let mut extended = val.clone();
+                for (pos, term) in atom.terms.iter().enumerate() {
+                    let actual = t.get(pos);
+                    match term {
+                        Term::Const(c) => {
+                            if c != actual {
+                                continue 'tuples;
+                            }
+                        }
+                        Term::Var(v) => match extended.get(v) {
+                            Some(bound) if bound != actual => continue 'tuples,
+                            Some(_) => {}
+                            None => {
+                                extended.insert(v.clone(), actual.clone());
+                            }
+                        },
+                    }
+                }
+                next.push(extended);
+            }
+        }
+        vals = next;
+        if vals.is_empty() {
+            break;
+        }
+    }
+    Ok(vals)
+}
+
+/// Filters valuations by negated atoms: a valuation survives iff no
+/// negated atom, grounded under it, matches a tuple of its relation.
+/// Safety (checked at parse) guarantees the grounded atom has no free
+/// variables left.
+pub fn filter_negatives(
+    vals: Vec<Valuation>,
+    negatives: &[Atom],
+    db: &Database,
+) -> Result<Vec<Valuation>, DatalogError> {
+    if negatives.is_empty() {
+        return Ok(vals);
+    }
+    // Resolve relations once.
+    let rels: Vec<&Relation> = negatives
+        .iter()
+        .map(|a| {
+            db.get(&a.relation)
+                .ok_or_else(|| DatalogError::UnknownRelation(a.relation.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    for (atom, rel) in negatives.iter().zip(&rels) {
+        if rel.schema().arity() != atom.terms.len() {
+            return Err(DatalogError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: rel.schema().arity(),
+                found: atom.terms.len(),
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(vals.len());
+    'vals: for val in vals {
+        for (atom, rel) in negatives.iter().zip(&rels) {
+            let grounded: Vec<Value> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Ok(c.clone()),
+                    Term::Var(v) => val.get(v).cloned().ok_or_else(|| DatalogError::UnsafeRule {
+                        rule: atom.to_string(),
+                        variable: v.clone(),
+                    }),
+                })
+                .collect::<Result<_, _>>()?;
+            if rel.contains(&Tuple::new(grounded)) {
+                continue 'vals; // blocked by the negated atom
+            }
+        }
+        out.push(val);
+    }
+    Ok(out)
+}
+
+/// The valuations of a whole rule: positive body matching followed by
+/// negated-atom filtering, both against the same database state.
+pub fn rule_valuations(
+    rule: &Rule,
+    db: &Database,
+    overrides: &BTreeMap<usize, &Relation>,
+) -> Result<Vec<Valuation>, DatalogError> {
+    let vals = body_valuations(&rule.body, db, overrides)?;
+    filter_negatives(vals, &rule.negatives, db)
+}
+
+/// Encodes a valuation as a tuple over the rule's canonical variable
+/// order — the set element stored in `oldVals[r]`.
+pub fn encode_valuation(vars: &[String], val: &Valuation) -> Tuple {
+    Tuple::new(
+        vars.iter()
+            .map(|v| val.get(v).cloned().unwrap_or_else(|| Value::int(0)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Instantiates a head under a valuation: the concrete tuple to insert.
+pub fn instantiate_head(head: &Head, val: &Valuation) -> Result<Tuple, DatalogError> {
+    let mut out = Vec::with_capacity(head.terms.len());
+    for term in &head.terms {
+        match term {
+            Term::Const(c) => out.push(c.clone()),
+            Term::Var(v) => {
+                out.push(
+                    val.get(v)
+                        .cloned()
+                        .ok_or_else(|| DatalogError::UnsafeRule {
+                            rule: head.to_string(),
+                            variable: v.clone(),
+                        })?,
+                )
+            }
+        }
+    }
+    Ok(Tuple::new(out))
+}
+
+/// The key part of an instantiated head (values at key positions) — the
+/// repair-key group identity.
+pub fn head_key(head: &Head, tuple: &Tuple) -> Tuple {
+    let idx: Vec<usize> = (0..head.terms.len()).filter(|&i| head.keys[i]).collect();
+    tuple.project(&idx)
+}
+
+/// The rule weight of a valuation: the value bound to the `@` variable
+/// (checked positive), or 1 for uniform rules.
+pub fn rule_weight(rule: &Rule, val: &Valuation) -> Result<Ratio, DatalogError> {
+    match &rule.head.weight {
+        None => Ok(Ratio::one()),
+        Some(w) => {
+            let v = val.get(w).ok_or_else(|| DatalogError::UnsafeRule {
+                rule: rule.to_string(),
+                variable: w.clone(),
+            })?;
+            v.as_weight().map_err(DatalogError::BadWeight)
+        }
+    }
+}
+
+/// Declares every IDB relation of `program` in `db` (if absent) with
+/// inferred arity and generated column names `c0, c1, …`, and checks that
+/// every body atom's arity matches its relation.
+pub fn prepare_database(program: &Program, db: &Database) -> Result<Database, DatalogError> {
+    let mut out = db.clone();
+    for (name, arity) in program.idb_arities()? {
+        match out.get(&name) {
+            Some(rel) if rel.schema().arity() != arity => {
+                return Err(DatalogError::Structure(format!(
+                    "relation {name:?} exists with arity {} but heads have arity {arity}",
+                    rel.schema().arity()
+                )));
+            }
+            Some(_) => {}
+            None => {
+                let cols: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+                out.declare(name, Schema::new(cols));
+            }
+        }
+    }
+    for rule in &program.rules {
+        for atom in rule.body.iter().chain(rule.negatives.iter()) {
+            let rel = out
+                .get(&atom.relation)
+                .ok_or_else(|| DatalogError::UnknownRelation(atom.relation.clone()))?;
+            if rel.schema().arity() != atom.terms.len() {
+                return Err(DatalogError::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    expected: rel.schema().arity(),
+                    found: atom.terms.len(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use pfq_data::tuple;
+
+    fn db() -> Database {
+        let e = Relation::from_rows(
+            Schema::new(["i", "j"]),
+            [tuple![1, 2], tuple![1, 3], tuple![2, 3]],
+        );
+        let c = Relation::from_rows(Schema::new(["n"]), [tuple![1]]);
+        Database::new().with("E", e).with("C", c)
+    }
+
+    fn body_of(src: &str) -> Vec<Atom> {
+        parse_program(src).unwrap().rules[0].body.clone()
+    }
+
+    #[test]
+    fn single_atom_valuations() {
+        let body = body_of("H(X, Y) :- E(X, Y).");
+        let vals = body_valuations(&body, &db(), &BTreeMap::new()).unwrap();
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let body = body_of("H(X, Y) :- C(X), E(X, Y).");
+        let vals = body_valuations(&body, &db(), &BTreeMap::new()).unwrap();
+        // C = {1}, edges from 1: (1,2), (1,3).
+        assert_eq!(vals.len(), 2);
+        for v in &vals {
+            assert_eq!(v["X"], Value::int(1));
+        }
+    }
+
+    #[test]
+    fn constants_filter() {
+        let body = body_of("H(Y) :- E(2, Y).");
+        let vals = body_valuations(&body, &db(), &BTreeMap::new()).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0]["Y"], Value::int(3));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let mut database = db();
+        database.insert_tuple("E", tuple![5, 5]).unwrap();
+        let body = body_of("H(X) :- E(X, X).");
+        let vals = body_valuations(&body, &database, &BTreeMap::new()).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0]["X"], Value::int(5));
+    }
+
+    #[test]
+    fn transitive_join_chain() {
+        let body = body_of("H(X, Z) :- E(X, Y), E(Y, Z).");
+        let vals = body_valuations(&body, &db(), &BTreeMap::new()).unwrap();
+        // Paths of length 2: 1→2→3.
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0]["Z"], Value::int(3));
+    }
+
+    #[test]
+    fn empty_body_is_single_empty_valuation() {
+        let vals = body_valuations(&[], &db(), &BTreeMap::new()).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert!(vals[0].is_empty());
+    }
+
+    #[test]
+    fn overrides_replace_atom_relation() {
+        let body = body_of("H(X, Y) :- E(X, Y).");
+        let delta = Relation::from_rows(Schema::new(["i", "j"]), [tuple![9, 9]]);
+        let overrides: BTreeMap<usize, &Relation> = [(0usize, &delta)].into_iter().collect();
+        let vals = body_valuations(&body, &db(), &overrides).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0]["X"], Value::int(9));
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let body = body_of("H(X) :- Zed(X).");
+        assert!(matches!(
+            body_valuations(&body, &db(), &BTreeMap::new()),
+            Err(DatalogError::UnknownRelation(_))
+        ));
+        let body = body_of("H(X) :- E(X).");
+        assert!(matches!(
+            body_valuations(&body, &db(), &BTreeMap::new()),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn head_instantiation_and_keys() {
+        let p = parse_program("H(X!, Y, 7) @P :- E(X, Y), W(P).").unwrap();
+        let rule = &p.rules[0];
+        let val: Valuation = [
+            ("X".to_string(), Value::int(1)),
+            ("Y".to_string(), Value::int(2)),
+            ("P".to_string(), Value::frac(1, 2)),
+        ]
+        .into_iter()
+        .collect();
+        let t = instantiate_head(&rule.head, &val).unwrap();
+        assert_eq!(t, tuple![1, 2, 7]);
+        // Keys: X (marked) and the constant 7.
+        assert_eq!(head_key(&rule.head, &t), tuple![1, 7]);
+        assert_eq!(rule_weight(rule, &val).unwrap(), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn bad_weight_value() {
+        let p = parse_program("H(X) @P :- R(X, P).").unwrap();
+        let val: Valuation = [
+            ("X".to_string(), Value::int(1)),
+            ("P".to_string(), Value::int(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            rule_weight(&p.rules[0], &val),
+            Err(DatalogError::BadWeight(_))
+        ));
+    }
+
+    #[test]
+    fn prepare_database_declares_idbs() {
+        let p = parse_program("C(v).\nC2(X!, Y) :- C(X), E(X, Y).").unwrap();
+        let base = Database::new().with(
+            "E",
+            Relation::from_rows(Schema::new(["i", "j"]), [tuple!["v", "w"]]),
+        );
+        let prepared = prepare_database(&p, &base).unwrap();
+        assert!(prepared.contains_relation("C"));
+        assert!(prepared.contains_relation("C2"));
+        assert_eq!(prepared.get("C2").unwrap().schema().arity(), 2);
+    }
+
+    #[test]
+    fn prepare_database_checks_arity_conflicts() {
+        let p = parse_program("C(X, Y) :- E(X, Y).").unwrap();
+        let base = Database::new()
+            .with(
+                "E",
+                Relation::from_rows(Schema::new(["i", "j"]), [tuple![1, 2]]),
+            )
+            .with("C", Relation::empty(Schema::new(["only_one"])));
+        assert!(matches!(
+            prepare_database(&p, &base),
+            Err(DatalogError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn encode_valuation_is_stable() {
+        let vars = vec!["X".to_string(), "Y".to_string()];
+        let val: Valuation = [
+            ("Y".to_string(), Value::int(2)),
+            ("X".to_string(), Value::int(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(encode_valuation(&vars, &val), tuple![1, 2]);
+    }
+}

@@ -1,0 +1,62 @@
+//! The linear-datalog restriction: at most one IDB atom per rule body
+//! (the restricted fragment for which the paper's Theorem 4.1 hardness
+//! already holds).
+
+use crate::ast::Program;
+
+/// Whether `program` is linear datalog: every rule body contains at most
+/// one atom over an IDB (head-defined) relation.
+pub fn is_linear(program: &Program) -> bool {
+    let idb = program.idb_relations();
+    program.rules.iter().all(|rule| {
+        rule.body
+            .iter()
+            .chain(rule.negatives.iter())
+            .filter(|a| idb.contains(a.relation.as_str()))
+            .count()
+            <= 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn reachability_is_linear() {
+        let p =
+            parse_program("C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).").unwrap();
+        assert!(is_linear(&p));
+    }
+
+    #[test]
+    fn transitive_closure_is_linear() {
+        let p = parse_program("T(X, Y) :- E(X, Y).\nT(X, Z) :- T(X, Y), E(Y, Z).").unwrap();
+        assert!(is_linear(&p));
+    }
+
+    #[test]
+    fn two_idb_atoms_is_nonlinear() {
+        let p = parse_program("T(X, Y) :- E(X, Y).\nT(X, Z) :- T(X, Y), T(Y, Z).").unwrap();
+        assert!(!is_linear(&p));
+    }
+
+    #[test]
+    fn same_relation_twice_counts_twice() {
+        let p = parse_program("Q :- V(X, 1), V(Y, 0).\nV(X, B) :- Init(X, B).").unwrap();
+        assert!(!is_linear(&p));
+    }
+
+    #[test]
+    fn edb_atoms_do_not_count() {
+        let p = parse_program("H(X) :- A(X), B(X), C(X).").unwrap();
+        assert!(is_linear(&p));
+    }
+
+    #[test]
+    fn facts_are_linear() {
+        let p = parse_program("C(v).").unwrap();
+        assert!(is_linear(&p));
+    }
+}

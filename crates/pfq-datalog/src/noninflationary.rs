@@ -1,0 +1,421 @@
+//! Translation of a probabilistic datalog program into a non-inflationary
+//! transition kernel (paper §3.3: “we may use the same translation
+//! mechanisms, with the addition of the @ operation translated into the
+//! repair-key construct, to translate (Q, e) into an equivalent
+//! non-inflationary query”).
+//!
+//! Each IDB relation `R` gets the kernel
+//!
+//! ```text
+//! R := ⋃_{rules r with head R} π_head(repair-key_keys@P(π_{vars,P}(body_r)))
+//! ```
+//!
+//! evaluated against the *old* state — destructive assignment, so the
+//! program induces a random walk between database instances. Persistence
+//! must be written explicitly (e.g. the paper's `Done(x) ← Done(x)`).
+
+use crate::ast::{Atom, Program, Rule, Term};
+use crate::eval::prepare_database;
+use crate::DatalogError;
+use pfq_algebra::{Expr, Interpretation, Pred};
+use pfq_data::{Database, Relation, Schema, Tuple};
+use std::collections::BTreeSet;
+
+/// Compiles one body atom to an expression whose schema is the atom's
+/// distinct variables (constants and repeated variables become
+/// selections).
+fn atom_expr(atom: &Atom, db: &Database) -> Result<Expr, DatalogError> {
+    let rel = db
+        .get(&atom.relation)
+        .ok_or_else(|| DatalogError::UnknownRelation(atom.relation.clone()))?;
+    let schema = rel.schema().clone();
+    if schema.arity() != atom.terms.len() {
+        return Err(DatalogError::ArityMismatch {
+            relation: atom.relation.clone(),
+            expected: schema.arity(),
+            found: atom.terms.len(),
+        });
+    }
+    // Rename every column to a unique temporary to avoid collisions.
+    let temp: Vec<String> = (0..schema.arity())
+        .map(|i| format!("__t{i}_{}", atom.relation))
+        .collect();
+    let mut expr = Expr::rel(&atom.relation).rename(
+        schema
+            .columns()
+            .iter()
+            .cloned()
+            .zip(temp.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    // Selections for constants and for repeated variables.
+    let mut first_of_var: Vec<(String, String)> = Vec::new(); // (var, temp col)
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => {
+                expr = expr.select(Pred::col_eq(&temp[i], c.clone()));
+            }
+            Term::Var(v) => match first_of_var.iter().find(|(w, _)| w == v) {
+                Some((_, col)) => {
+                    expr = expr.select(Pred::cols_eq(col.clone(), temp[i].clone()));
+                }
+                None => first_of_var.push((v.clone(), temp[i].clone())),
+            },
+        }
+    }
+    // Project to one column per distinct variable, named by the variable.
+    let cols: Vec<String> = first_of_var.iter().map(|(_, c)| c.clone()).collect();
+    let renames: Vec<(String, String)> = first_of_var
+        .iter()
+        .map(|(v, c)| (c.clone(), v.clone()))
+        .collect();
+    Ok(expr.project(cols).rename(renames))
+}
+
+/// Compiles a rule body to an expression over the body's variables; an
+/// empty body yields the 0-ary single-tuple constant.
+fn body_expr(body: &[Atom], db: &Database) -> Result<Expr, DatalogError> {
+    let mut acc: Option<Expr> = None;
+    for atom in body {
+        let e = atom_expr(atom, db)?;
+        acc = Some(match acc {
+            None => e,
+            Some(prev) => prev.join(e),
+        });
+    }
+    Ok(acc
+        .unwrap_or_else(|| Expr::constant(Relation::from_rows(Schema::empty(), [Tuple::empty()]))))
+}
+
+/// Compiles one rule to the expression computing its head relation
+/// contribution (paper Example 3.7's `π_ABC(repair-key_AB@D(π_ABCD R))`
+/// shape).
+///
+/// Restrictions of the algebra route (the engine itself has none):
+/// head variables must be distinct, and the weight variable must not
+/// also appear as a head term.
+pub fn rule_expr(rule: &Rule, db: &Database) -> Result<Expr, DatalogError> {
+    rule.check_safety()?;
+    let target_schema = db
+        .get(&rule.head.relation)
+        .ok_or_else(|| DatalogError::UnknownRelation(rule.head.relation.clone()))?
+        .schema()
+        .clone();
+    if target_schema.arity() != rule.head.terms.len() {
+        return Err(DatalogError::ArityMismatch {
+            relation: rule.head.relation.clone(),
+            expected: target_schema.arity(),
+            found: rule.head.terms.len(),
+        });
+    }
+
+    // Distinct head variables, in head order.
+    let mut head_vars: Vec<&str> = Vec::new();
+    for t in &rule.head.terms {
+        if let Term::Var(v) = t {
+            if head_vars.contains(&v.as_str()) {
+                return Err(DatalogError::Structure(format!(
+                    "algebra translation requires distinct head variables; {v:?} repeats in `{rule}`"
+                )));
+            }
+            head_vars.push(v);
+        }
+    }
+    if let Some(w) = &rule.head.weight {
+        if head_vars.contains(&w.as_str()) {
+            return Err(DatalogError::Structure(format!(
+                "algebra translation requires the weight variable {w:?} to not be a head term in `{rule}`"
+            )));
+        }
+    }
+
+    let mut expr = body_expr(&rule.body, db)?;
+
+    // Negated atoms become anti-joins: result − π(result ⋈ N). Safety
+    // guarantees N's variables all appear in the positive body, so the
+    // natural join keeps exactly the blocked rows with the same schema.
+    for neg in &rule.negatives {
+        let n_expr = atom_expr(neg, db)?;
+        expr = expr.clone().difference(expr.join(n_expr));
+    }
+
+    // π_{head vars, weight}.
+    let mut keep: Vec<String> = head_vars.iter().map(|v| v.to_string()).collect();
+    if let Some(w) = &rule.head.weight {
+        keep.push(w.clone());
+    }
+    // Deduplicate is unnecessary (distinctness checked); empty keep is
+    // possible for ground heads, making the body a 0-ary guard.
+    expr = expr.project(keep);
+
+    // repair-key for probabilistic heads.
+    if !rule.head.is_deterministic() {
+        let keys: Vec<String> = rule.head.key_vars().iter().map(|v| v.to_string()).collect();
+        expr = expr.repair_key(keys, rule.head.weight.as_deref());
+        if rule.head.weight.is_some() {
+            // Drop the weight column again.
+            expr = expr.project(head_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+        }
+    } else if rule.head.weight.is_some() {
+        expr = expr.project(head_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    }
+
+    // Attach constant head positions via product with 1-tuple constants.
+    let mut const_cols: Vec<(String, Expr)> = Vec::new();
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        if let Term::Const(c) = t {
+            let col = format!("__k{i}");
+            let rel =
+                Relation::from_rows(Schema::new([col.clone()]), [Tuple::new(vec![c.clone()])]);
+            const_cols.push((col, Expr::constant(rel)));
+        }
+    }
+    for (_, c) in &const_cols {
+        expr = expr.product(c.clone());
+    }
+
+    // Final projection into head-term order, renamed to the target schema.
+    let mut ordered: Vec<String> = Vec::new();
+    let mut const_iter = 0usize;
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        match t {
+            Term::Var(v) => ordered.push(v.clone()),
+            Term::Const(_) => {
+                ordered.push(format!("__k{i}"));
+                const_iter += 1;
+            }
+        }
+    }
+    let _ = const_iter;
+    let renames: Vec<(String, String)> = ordered
+        .iter()
+        .cloned()
+        .zip(target_schema.columns().iter().cloned())
+        .collect();
+    Ok(expr.project(ordered).rename(renames))
+}
+
+/// Translates a whole program into a non-inflationary transition kernel:
+/// for each IDB relation, the union of its rules' expressions. Also
+/// returns the prepared database (IDB relations declared).
+pub fn to_interpretation(
+    program: &Program,
+    db: &Database,
+) -> Result<(Interpretation, Database), DatalogError> {
+    let prepared = prepare_database(program, db)?;
+    let idb: BTreeSet<&str> = program.idb_relations();
+    let mut interp = Interpretation::new();
+    for rel in idb {
+        let mut acc: Option<Expr> = None;
+        for rule in program.rules.iter().filter(|r| r.head.relation == rel) {
+            let e = rule_expr(rule, &prepared)?;
+            acc = Some(match acc {
+                None => e,
+                Some(prev) => prev.union(e),
+            });
+        }
+        interp.define(rel.to_string(), acc.expect("idb relation has a rule"));
+    }
+    Ok((interp, prepared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use pfq_data::{tuple, Value};
+    use pfq_num::Ratio;
+
+    fn fork_db() -> Database {
+        Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [
+                    tuple!["v", "w", Value::frac(1, 2)],
+                    tuple!["v", "u", Value::frac(1, 2)],
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn deterministic_rule_translation() {
+        let p = parse_program("T(X, Y) :- E(X, Y, P).").unwrap();
+        let (interp, prepared) = to_interpretation(&p, &fork_db()).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        assert_eq!(succ.support_size(), 1);
+        let (next, _) = succ.iter().next().unwrap();
+        assert_eq!(next.get("T").unwrap().len(), 2);
+        assert!(next.get("T").unwrap().contains(&tuple!["v", "w"]));
+    }
+
+    #[test]
+    fn probabilistic_rule_translation() {
+        // Walk step: from C = {v}, pick one successor weighted by P.
+        let p = parse_program("C(Y!) @P :- C(X), E(X, Y, P).").unwrap();
+        let mut db = fork_db();
+        db.set("C", Relation::from_rows(Schema::new(["c0"]), [tuple!["v"]]));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        assert!(succ.is_proper());
+        // Key = Y: one group per successor, each kept independently —
+        // both successors always chosen (singleton groups).
+        assert_eq!(succ.support_size(), 1);
+        let (next, _) = succ.iter().next().unwrap();
+        assert_eq!(next.get("C").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn whole_relation_choice_translation() {
+        // No keys: repair-key∅@P — exactly one row survives.
+        let p = parse_program("C(Y) @P :- C(X), E(X, Y, P).").unwrap();
+        let mut db = fork_db();
+        db.set("C", Relation::from_rows(Schema::new(["c0"]), [tuple!["v"]]));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        assert!(succ.is_proper());
+        assert_eq!(succ.support_size(), 2);
+        for (next, pr) in succ.iter() {
+            assert_eq!(next.get("C").unwrap().len(), 1);
+            assert_eq!(pr, &Ratio::new(1, 2));
+        }
+    }
+
+    #[test]
+    fn destructive_assignment_forgets_old_state() {
+        let p = parse_program("C(Y) @P :- C(X), E(X, Y, P).").unwrap();
+        let mut db = fork_db();
+        db.set("C", Relation::from_rows(Schema::new(["c0"]), [tuple!["v"]]));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        for (next, _) in succ.iter() {
+            // v is gone: the new C replaced the old one.
+            assert!(!next.get("C").unwrap().contains(&tuple!["v"]));
+        }
+    }
+
+    #[test]
+    fn persistence_rule_keeps_tuples() {
+        // The paper's Done(x) ← Done(x) idiom.
+        let p = parse_program("Done(X) :- Done(X).").unwrap();
+        let db = Database::new().with(
+            "Done",
+            Relation::from_rows(Schema::new(["c0"]), [tuple!["a"]]),
+        );
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        assert!(next.get("Done").unwrap().contains(&tuple!["a"]));
+    }
+
+    #[test]
+    fn constants_in_heads_and_bodies() {
+        let p = parse_program("H(1, X) :- R(X, 2).").unwrap();
+        let db = Database::new().with(
+            "R",
+            Relation::from_rows(Schema::new(["a", "b"]), [tuple![10, 2], tuple![11, 3]]),
+        );
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        let h = next.get("H").unwrap();
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(&tuple![1, 10]));
+    }
+
+    #[test]
+    fn repeated_atom_variable() {
+        let p = parse_program("L(X) :- E(X, X, P).").unwrap();
+        let mut db = fork_db();
+        db.get_mut("E")
+            .unwrap()
+            .insert(tuple!["z", "z", Value::frac(1, 1)]);
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        assert_eq!(next.get("L").unwrap().len(), 1);
+        assert!(next.get("L").unwrap().contains(&tuple!["z"]));
+    }
+
+    #[test]
+    fn repeated_head_variable_rejected() {
+        let p = parse_program("H(X, X) :- R(X).").unwrap();
+        let db = Database::new().with("R", Relation::from_rows(Schema::new(["v"]), [tuple![1]]));
+        assert!(matches!(
+            to_interpretation(&p, &db),
+            Err(DatalogError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn union_of_rules_for_one_head() {
+        let p = parse_program("H(X) :- A(X).\nH(X) :- B(X).").unwrap();
+        let db = Database::new()
+            .with("A", Relation::from_rows(Schema::new(["v"]), [tuple![1]]))
+            .with("B", Relation::from_rows(Schema::new(["v"]), [tuple![2]]));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        assert_eq!(next.get("H").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn negation_compiles_to_anti_join() {
+        // New := C − Cold, both read from the old state.
+        let p = parse_program("New(X) :- C(X), not Cold(X).").unwrap();
+        let db = Database::new()
+            .with(
+                "C",
+                Relation::from_rows(Schema::new(["v"]), [tuple![1], tuple![2], tuple![3]]),
+            )
+            .with("Cold", Relation::from_rows(Schema::new(["v"]), [tuple![2]]));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        let new = next.get("New").unwrap();
+        assert_eq!(new.len(), 2);
+        assert!(new.contains(&tuple![1]));
+        assert!(new.contains(&tuple![3]));
+        assert!(!new.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn ground_negated_atom() {
+        // Step(X) :- C(X), not Blocked(a): fires for all of C only while
+        // the flag tuple is absent.
+        let p = parse_program("Step(X) :- C(X), not Blocked(a).").unwrap();
+        let mut db = Database::new()
+            .with("C", Relation::from_rows(Schema::new(["v"]), [tuple![1]]))
+            .with("Blocked", Relation::empty(Schema::new(["f"])));
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        assert_eq!(succ.iter().next().unwrap().0.get("Step").unwrap().len(), 1);
+
+        db.insert_tuple("Blocked", tuple!["a"]).unwrap();
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        assert!(succ
+            .iter()
+            .next()
+            .unwrap()
+            .0
+            .get("Step")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn ground_head_rule() {
+        // Done(a) ← R(cn, l): fires iff R has a matching row.
+        let p = parse_program("Done(a) :- R(cn, L).").unwrap();
+        let db = Database::new().with(
+            "R",
+            Relation::from_rows(Schema::new(["c", "l"]), [tuple!["cn", "x"]]),
+        );
+        let (interp, prepared) = to_interpretation(&p, &db).unwrap();
+        let succ = interp.enumerate_step(&prepared, None).unwrap();
+        let (next, _) = succ.iter().next().unwrap();
+        assert!(next.get("Done").unwrap().contains(&tuple!["a"]));
+    }
+}

@@ -1,0 +1,553 @@
+//! A hand-written parser for the concrete probabilistic-datalog syntax.
+//!
+//! ```text
+//! % Comments run to end of line (also `//` and `#`).
+//! C(v).                          % fact; lowercase idents are constants
+//! C2(X!, Y) @P :- C(X), E(X, Y, P).   % `!` marks keys (the paper's underline)
+//! C(Y) :- C2(X, Y).              % unmarked head = deterministic rule
+//! Half(X) :- R(X, 1/2).          % integers and rationals are literals
+//! Flag.                          % 0-ary atoms are allowed
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) in *term*
+//! position are variables; everything else is a constant. Both `:-` and
+//! `<-` are accepted as the rule arrow.
+
+use crate::ast::{Atom, Head, Program, Rule, Term};
+use crate::DatalogError;
+use pfq_data::Value;
+use pfq_num::Ratio;
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    At,
+    Bang,
+    Slash,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+/// A token with its source position.
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') | Some(b'#') => {
+                    while self.peek().is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while self.peek().is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, DatalogError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            let tok = match b {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b'@' => {
+                    self.bump();
+                    Tok::At
+                }
+                b'!' => {
+                    self.bump();
+                    Tok::Bang
+                }
+                b'/' => {
+                    self.bump();
+                    Tok::Slash
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        return Err(self.error("expected `-` after `:`"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        return Err(self.error("expected `-` after `<`"));
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error("unterminated string literal")),
+                            Some(b'"') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => s.push(self.bump() as char),
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                b'-' => {
+                    self.bump();
+                    if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(self.error("expected digit after `-`"));
+                    }
+                    let n = self.lex_number()?;
+                    Tok::Int(-n)
+                }
+                b if b.is_ascii_digit() => Tok::Int(self.lex_number()?),
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let mut s = String::new();
+                    while self
+                        .peek()
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                    {
+                        s.push(self.bump() as char);
+                    }
+                    Tok::Ident(s)
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+
+    fn lex_number(&mut self) -> Result<i64, DatalogError> {
+        let mut n: i64 = 0;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            let d = (self.bump() - b'0') as i64;
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d))
+                .ok_or_else(|| self.error("integer literal overflows i64"))?;
+        }
+        Ok(n)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> DatalogError {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1));
+        DatalogError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|s| &s.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), DatalogError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error_at(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DatalogError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error_at(format!("expected {what}"))),
+        }
+    }
+
+    /// `term := VAR | ident | INT [ "/" INT ] | STRING`
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        match self.bump().cloned() {
+            Some(Tok::Ident(s)) => {
+                if s.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                    Ok(Term::Var(s))
+                } else {
+                    Ok(Term::Const(Value::str(s)))
+                }
+            }
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+            Some(Tok::Int(n)) => {
+                if self.peek() == Some(&Tok::Slash) {
+                    self.pos += 1;
+                    match self.bump().cloned() {
+                        Some(Tok::Int(d)) if d != 0 => {
+                            Ok(Term::Const(Value::ratio(Ratio::new(n, d))))
+                        }
+                        Some(Tok::Int(_)) => Err(self.error_at("rational with zero denominator")),
+                        _ => Err(self.error_at("expected denominator after `/`")),
+                    }
+                } else {
+                    Ok(Term::Const(Value::int(n)))
+                }
+            }
+            _ => Err(self.error_at("expected a term")),
+        }
+    }
+
+    /// Head atom with optional `!` key marks and `@Weight`.
+    fn head(&mut self) -> Result<Head, DatalogError> {
+        let relation = self.ident("a relation name")?;
+        let mut terms = Vec::new();
+        let mut marks = Vec::new();
+        let mut any_mark = false;
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            loop {
+                terms.push(self.term()?);
+                if self.peek() == Some(&Tok::Bang) {
+                    self.pos += 1;
+                    marks.push(true);
+                    any_mark = true;
+                } else {
+                    marks.push(false);
+                }
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.error_at("expected `,` or `)` in head")),
+                }
+            }
+        }
+        let weight = if self.peek() == Some(&Tok::At) {
+            self.pos += 1;
+            let w = self.ident("a weight variable after `@`")?;
+            if !w.starts_with(|c: char| c.is_ascii_uppercase() || c == '_') {
+                return Err(self.error_at("weight after `@` must be a variable"));
+            }
+            Some(w)
+        } else {
+            None
+        };
+        if any_mark || weight.is_some() {
+            Ok(Head::probabilistic(relation, terms, marks, weight))
+        } else {
+            Ok(Head::deterministic(relation, terms))
+        }
+    }
+
+    /// Body atom (no marks, no weight).
+    fn atom(&mut self) -> Result<Atom, DatalogError> {
+        let relation = self.ident("a relation name")?;
+        let mut terms = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            loop {
+                terms.push(self.term()?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.error_at("expected `,` or `)` in atom")),
+                }
+            }
+        }
+        Ok(Atom::new(relation, terms))
+    }
+
+    fn rule(&mut self) -> Result<Rule, DatalogError> {
+        let head = self.head()?;
+        let mut body = Vec::new();
+        let mut negatives = Vec::new();
+        if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            // An empty body after the arrow is allowed (paper style
+            // `C(v) ←`), detected by an immediate `.`.
+            if self.peek() != Some(&Tok::Dot) {
+                loop {
+                    // `not` is a reserved word introducing a negated atom.
+                    if self.peek() == Some(&Tok::Ident("not".to_string())) {
+                        self.pos += 1;
+                        negatives.push(self.atom()?);
+                    } else {
+                        body.push(self.atom()?);
+                    }
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(&Tok::Dot, "`.` at end of rule")?;
+        Ok(Rule::with_negatives(head, body, negatives))
+    }
+
+    fn program(&mut self) -> Result<Program, DatalogError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.rule()?);
+        }
+        Program::new(rules)
+    }
+}
+
+/// Parses a probabilistic-datalog program from source text.
+///
+/// ```
+/// let program = pfq_datalog::parse_program(
+///     "C(v).\n\
+///      C2(X!, Y) @P :- C(X), E(X, Y, P).\n\
+///      C(Y) :- C2(X, Y).",
+/// )
+/// .unwrap();
+/// assert_eq!(program.rules.len(), 3);
+/// assert!(program.is_probabilistic());
+/// assert!(pfq_datalog::linear::is_linear(&program));
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, DatalogError> {
+    let toks = Lexer::new(src).tokenize()?;
+    Parser { toks, pos: 0 }.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_9_parses() {
+        let p = parse_program(
+            r#"
+            % Example 3.9 — probabilistic reachability.
+            C(v).
+            C2(X!, Y) @P :- C(X), E(X, Y, P).
+            C(Y) :- C2(X, Y).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules[0].is_deterministic());
+        assert_eq!(p.rules[0].head.terms, vec![Term::val("v")]);
+        assert!(!p.rules[1].is_deterministic());
+        assert_eq!(p.rules[1].head.key_vars(), vec!["X"]);
+        assert_eq!(p.rules[1].head.weight.as_deref(), Some("P"));
+        assert!(p.rules[2].is_deterministic());
+    }
+
+    #[test]
+    fn paper_arrow_and_empty_body() {
+        let p = parse_program("R(c0) <- .\nDone(a) <- R(cn).").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[1].body.len(), 1);
+    }
+
+    #[test]
+    fn literals() {
+        let p = parse_program(r#"H(X) :- R(X, 3, -4, 1/2, hello, "Spaced Out")."#).unwrap();
+        let terms = &p.rules[0].body[0].terms;
+        assert_eq!(terms[1], Term::val(3));
+        assert_eq!(terms[2], Term::val(-4));
+        assert_eq!(terms[3], Term::Const(Value::frac(1, 2)));
+        assert_eq!(terms[4], Term::val("hello"));
+        assert_eq!(terms[5], Term::val("Spaced Out"));
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let p = parse_program("Q :- V(X, 1), V(Y, 1).").unwrap();
+        assert!(p.rules[0].head.terms.is_empty());
+        let p2 = parse_program("Flag.").unwrap();
+        assert!(p2.rules[0].body.is_empty());
+    }
+
+    #[test]
+    fn weight_without_keys_is_whole_relation_choice() {
+        let p = parse_program("H(X, Y) @P :- R(X, Y, P).").unwrap();
+        assert!(!p.rules[0].is_deterministic());
+        assert!(p.rules[0].head.key_vars().is_empty());
+    }
+
+    #[test]
+    fn comment_styles() {
+        let p = parse_program("% percent\n// slashes\n# hash\nA(X) :- B(X). % trailing").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        let p = parse_program("H(X) :- R(X, _Y).").unwrap();
+        assert_eq!(p.rules[0].body[0].terms[1], Term::var("_Y"));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_program("H(X :- R(X).").unwrap_err();
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_program("H(X) :- R(X)").is_err()); // missing dot
+        assert!(parse_program("H(X) : R(X).").is_err()); // bad arrow
+        assert!(parse_program(r#"H(X) :- R("unterminated)."#).is_err());
+        assert!(parse_program("H(X) :- R(1/0).").is_err());
+        assert!(parse_program("H(X) @p :- R(X, P).").is_err()); // lowercase weight
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_at_parse() {
+        assert!(matches!(
+            parse_program("H(Z) :- R(X)."),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn negation_in_bodies() {
+        let p = parse_program("New(X) :- C(X), not Cold(X).").unwrap();
+        assert_eq!(p.rules[0].body.len(), 1);
+        assert_eq!(p.rules[0].negatives.len(), 1);
+        assert_eq!(p.rules[0].negatives[0].relation, "Cold");
+        // Multiple negatives, interleaved.
+        let p = parse_program("H(X) :- not A(X), B(X), not C(X, 1).").unwrap();
+        assert_eq!(p.rules[0].body.len(), 1);
+        assert_eq!(p.rules[0].negatives.len(), 2);
+        // Unsafe: negated variable unbound by the positive body.
+        assert!(matches!(
+            parse_program("H(X) :- B(X), not A(Z)."),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+        // Negation round-trips through Display.
+        let p = parse_program("New(X) :- C(X), not Cold(X).").unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn multiline_positions() {
+        let err = parse_program("A(X) :- B(X).\n\nC(Y :- D(Y).").unwrap_err();
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

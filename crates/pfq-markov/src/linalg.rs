@@ -1,0 +1,139 @@
+//! Exact rational linear algebra: Gaussian elimination with partial
+//! pivoting over [`Ratio`]s.
+//!
+//! Proposition 5.4 computes stationary distributions by “Gaussian
+//! elimination … to compute the principal eigenvector”; because our
+//! probabilities are exact rationals, the solver is exact too.
+
+use pfq_num::Ratio;
+
+/// Solves the dense linear system `A·x = b` exactly.
+///
+/// Returns `None` if `A` is singular. `a` is row-major and consumed.
+#[allow(clippy::needless_range_loop)] // index-driven elimination reads and writes disjoint rows
+pub fn solve(mut a: Vec<Vec<Ratio>>, mut b: Vec<Ratio>) -> Option<Vec<Ratio>> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+
+    for col in 0..n {
+        // Pivot: any row at/below `col` with a nonzero entry. (Over exact
+        // rationals any nonzero pivot is numerically fine; we pick the
+        // first for determinism.)
+        let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        let inv = a[col][col].recip();
+        for c in col..n {
+            a[col][c] = a[col][c].mul_ref(&inv);
+        }
+        b[col] = b[col].mul_ref(&inv);
+
+        for r in 0..n {
+            if r == col || a[r][col].is_zero() {
+                continue;
+            }
+            let factor = a[r][col].clone();
+            for c in col..n {
+                let delta = factor.mul_ref(&a[col][c]);
+                a[r][c] = a[r][c].sub_ref(&delta);
+            }
+            let delta = factor.mul_ref(&b[col]);
+            b[r] = b[r].sub_ref(&delta);
+        }
+    }
+    Some(b)
+}
+
+/// Multiplies the row vector `x` by the dense matrix `m`: `out = x · M`.
+pub fn vec_mat_mul(x: &[Ratio], m: &[Vec<Ratio>]) -> Vec<Ratio> {
+    let n = x.len();
+    assert_eq!(m.len(), n);
+    let cols = if n == 0 { 0 } else { m[0].len() };
+    let mut out = vec![Ratio::zero(); cols];
+    for (i, xi) in x.iter().enumerate() {
+        if xi.is_zero() {
+            continue;
+        }
+        for (j, mij) in m[i].iter().enumerate() {
+            if !mij.is_zero() {
+                out[j] = out[j].add_ref(&xi.mul_ref(mij));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3; x - y = 1 → x = 2, y = 1.
+        let a = vec![vec![r(1, 1), r(1, 1)], vec![r(1, 1), r(-1, 1)]];
+        let b = vec![r(3, 1), r(1, 1)];
+        assert_eq!(solve(a, b), Some(vec![r(2, 1), r(1, 1)]));
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // First pivot is zero; solvable only with row swap.
+        let a = vec![vec![r(0, 1), r(1, 1)], vec![r(1, 1), r(0, 1)]];
+        let b = vec![r(5, 1), r(7, 1)];
+        assert_eq!(solve(a, b), Some(vec![r(7, 1), r(5, 1)]));
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![vec![r(1, 1), r(2, 1)], vec![r(2, 1), r(4, 1)]];
+        let b = vec![r(1, 1), r(2, 1)];
+        assert_eq!(solve(a, b), None);
+    }
+
+    #[test]
+    fn solve_exact_fractions() {
+        // (1/3)x = 1 → x = 3, exactly.
+        let a = vec![vec![r(1, 3)]];
+        let b = vec![Ratio::one()];
+        assert_eq!(solve(a, b), Some(vec![r(3, 1)]));
+    }
+
+    #[test]
+    fn vec_mat_mul_identity() {
+        let m = vec![
+            vec![Ratio::one(), Ratio::zero()],
+            vec![Ratio::zero(), Ratio::one()],
+        ];
+        let x = vec![r(1, 2), r(1, 3)];
+        assert_eq!(vec_mat_mul(&x, &m), x);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_then_multiply_roundtrips(
+            entries in proptest::collection::vec(-6i64..=6, 9),
+            rhs in proptest::collection::vec(-6i64..=6, 3),
+        ) {
+            let a: Vec<Vec<Ratio>> = (0..3)
+                .map(|i| (0..3).map(|j| Ratio::from_integer(entries[3 * i + j])).collect())
+                .collect();
+            let b: Vec<Ratio> = rhs.iter().map(|&v| Ratio::from_integer(v)).collect();
+            if let Some(x) = solve(a.clone(), b.clone()) {
+                // Verify A·x = b exactly (column-wise dot products).
+                for i in 0..3 {
+                    let lhs: Ratio = (0..3).map(|j| a[i][j].mul_ref(&x[j])).sum();
+                    prop_assert_eq!(lhs, b[i].clone());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Strongly connected components, the condensation DAG, and the classic
+//! structural properties: irreducibility, period, ergodicity.
+
+use crate::MarkovChain;
+use std::collections::BTreeSet;
+
+/// The condensation of a chain: its SCCs and the DAG between them.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `components[c]` lists the state indices of SCC `c`, sorted.
+    pub components: Vec<Vec<usize>>,
+    /// `component_of[i]` is the SCC index of state `i`.
+    pub component_of: Vec<usize>,
+    /// `edges[c]` lists SCC indices directly reachable from SCC `c`
+    /// (excluding `c` itself), sorted.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Condensation {
+    /// Number of SCCs.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no SCCs (empty chain).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// SCC indices with no outgoing condensation edges — the *closed*
+    /// communicating classes, the “leaves of the DAG” of Theorem 5.5.
+    /// A random walk is eventually absorbed into one of these w.p. 1.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&c| self.edges[c].is_empty())
+            .collect()
+    }
+}
+
+/// Computes SCCs with an iterative Tarjan algorithm (no recursion, so
+/// database-state chains with long paths cannot overflow the stack).
+pub fn condensation<S: Ord + Clone>(chain: &MarkovChain<S>) -> Condensation {
+    let n = chain.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component_of = vec![UNSET; n];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frame: (node, next-successor position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+            let row = chain.row(v);
+            if *pos < row.len() {
+                let (w, _) = row[*pos];
+                *pos += 1;
+                if index[w] == UNSET {
+                    call_stack.push((w, 0));
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component_of[w] = components.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); components.len()];
+    for v in 0..n {
+        for w in chain.successors(v) {
+            let (cv, cw) = (component_of[v], component_of[w]);
+            if cv != cw {
+                edges[cv].insert(cw);
+            }
+        }
+    }
+
+    Condensation {
+        components,
+        component_of,
+        edges: edges.into_iter().map(|s| s.into_iter().collect()).collect(),
+    }
+}
+
+/// Whether the chain is irreducible (single SCC covering all states).
+pub fn is_irreducible<S: Ord + Clone>(chain: &MarkovChain<S>) -> bool {
+    !chain.is_empty() && condensation(chain).len() == 1
+}
+
+/// The period of an *irreducible* chain: `gcd` over all edges `(u, v)` of
+/// `level(u) + 1 − level(v)` where `level` is BFS depth from state 0.
+/// Returns `None` if the chain is not irreducible.
+pub fn period<S: Ord + Clone>(chain: &MarkovChain<S>) -> Option<u64> {
+    if !is_irreducible(chain) {
+        return None;
+    }
+    let n = chain.len();
+    let mut level = vec![u64::MAX; n];
+    level[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut g: u64 = 0;
+    while let Some(u) = queue.pop_front() {
+        for v in chain.successors(u) {
+            if level[v] == u64::MAX {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            } else {
+                let diff = (level[u] + 1).abs_diff(level[v]);
+                g = gcd(g, diff);
+            }
+        }
+    }
+    Some(if g == 0 { 1 } else { g })
+}
+
+/// Whether the chain is ergodic: irreducible (hence, being finite,
+/// positively recurrent) and aperiodic.
+pub fn is_ergodic<S: Ord + Clone>(chain: &MarkovChain<S>) -> bool {
+    period(chain) == Some(1)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_num::Ratio;
+
+    fn uniform_rows(adj: &[&[usize]]) -> MarkovChain<usize> {
+        let rows = adj
+            .iter()
+            .map(|succs| {
+                let p = Ratio::new(1, succs.len() as i64);
+                succs.iter().map(|&j| (j, p.clone())).collect()
+            })
+            .collect();
+        MarkovChain::from_rows((0..adj.len()).collect(), rows).unwrap()
+    }
+
+    #[test]
+    fn single_scc_cycle() {
+        let c = uniform_rows(&[&[1], &[2], &[0]]);
+        let cond = condensation(&c);
+        assert_eq!(cond.len(), 1);
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), Some(3));
+        assert!(!is_ergodic(&c));
+        assert_eq!(cond.leaves(), vec![0]);
+    }
+
+    #[test]
+    fn cycle_with_self_loop_is_ergodic() {
+        let c = MarkovChain::from_rows(
+            vec![0usize, 1, 2],
+            vec![
+                vec![(0, Ratio::new(1, 2)), (1, Ratio::new(1, 2))],
+                vec![(2, Ratio::one())],
+                vec![(0, Ratio::one())],
+            ],
+        )
+        .unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), Some(1));
+        assert!(is_ergodic(&c));
+    }
+
+    #[test]
+    fn transient_plus_two_absorbing_components() {
+        // 0 → 1 or 2; {1} and {2} are self-loops (absorbing).
+        let c = MarkovChain::from_rows(
+            vec![0usize, 1, 2],
+            vec![
+                vec![(1, Ratio::new(1, 2)), (2, Ratio::new(1, 2))],
+                vec![(1, Ratio::one())],
+                vec![(2, Ratio::one())],
+            ],
+        )
+        .unwrap();
+        let cond = condensation(&c);
+        assert_eq!(cond.len(), 3);
+        assert!(!is_irreducible(&c));
+        assert_eq!(period(&c), None);
+        let leaves = cond.leaves();
+        assert_eq!(leaves.len(), 2);
+        // The transient SCC {0} must not be a leaf.
+        let c0 = cond.component_of[0];
+        assert!(!leaves.contains(&c0));
+        // Its condensation edges reach both leaves.
+        assert_eq!(cond.edges[c0].len(), 2);
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        // 10_000-state path ending in a self-loop: recursion-free Tarjan.
+        let n = 10_000;
+        let mut adj: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i + 1]).collect();
+        adj.push(vec![n - 1]);
+        let refs: Vec<&[usize]> = adj.iter().map(|v| v.as_slice()).collect();
+        let c = uniform_rows(&refs);
+        let cond = condensation(&c);
+        assert_eq!(cond.len(), n);
+        assert_eq!(cond.leaves().len(), 1);
+    }
+
+    #[test]
+    fn two_cycle_has_period_two() {
+        let c = uniform_rows(&[&[1], &[0]]);
+        assert_eq!(period(&c), Some(2));
+        assert!(!is_ergodic(&c));
+    }
+
+    #[test]
+    fn component_of_is_consistent() {
+        let c = uniform_rows(&[&[1], &[0], &[0, 3], &[3]]);
+        let cond = condensation(&c);
+        for (ci, comp) in cond.components.iter().enumerate() {
+            for &s in comp {
+                assert_eq!(cond.component_of[s], ci);
+            }
+        }
+        // States 0,1 share an SCC; 2 and 3 are their own.
+        assert_eq!(cond.component_of[0], cond.component_of[1]);
+        assert_ne!(cond.component_of[2], cond.component_of[3]);
+        assert_eq!(cond.len(), 3);
+    }
+}

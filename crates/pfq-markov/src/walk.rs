@@ -1,0 +1,170 @@
+//! Random walks over explicit chains, and the two sampling estimators
+//! the paper's approximation algorithms rest on: time averages and
+//! burn-in (mixing-time) sampling.
+
+use crate::MarkovChain;
+use pfq_num::dist::pick_weighted_index;
+use pfq_num::Ratio;
+use rand::Rng;
+
+/// Samples one transition out of state `i`.
+pub fn step<S: Ord + Clone, R: Rng + ?Sized>(
+    chain: &MarkovChain<S>,
+    i: usize,
+    rng: &mut R,
+) -> usize {
+    let row = chain.row(i);
+    debug_assert!(!row.is_empty(), "state {i} has no outgoing transitions");
+    let weights: Vec<Ratio> = row.iter().map(|(_, p)| p.clone()).collect();
+    row[pick_weighted_index(&weights, rng.gen::<u64>())].0
+}
+
+/// Runs a walk of `steps` transitions from `start`; returns the final
+/// state index.
+pub fn run<S: Ord + Clone, R: Rng + ?Sized>(
+    chain: &MarkovChain<S>,
+    start: usize,
+    steps: usize,
+    rng: &mut R,
+) -> usize {
+    let mut cur = start;
+    for _ in 0..steps {
+        cur = step(chain, cur, rng);
+    }
+    cur
+}
+
+/// Estimates the long-run probability of `event` as the fraction of time
+/// a single walk of `steps` transitions spends in event states — the
+/// direct simulation of the paper's time-average `Pr(s)` definition.
+pub fn time_average_event<S: Ord + Clone, R: Rng + ?Sized>(
+    chain: &MarkovChain<S>,
+    start: usize,
+    steps: usize,
+    mut event: impl FnMut(&S) -> bool,
+    rng: &mut R,
+) -> f64 {
+    assert!(steps > 0);
+    let mut cur = start;
+    let mut hits = 0usize;
+    for _ in 0..steps {
+        cur = step(chain, cur, rng);
+        if event(chain.state(cur)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / steps as f64
+}
+
+/// Draws `n_samples` (near-)independent states: each sample restarts the
+/// walk at `start` and runs `burn_in` steps before observing — the
+/// Theorem 5.6 procedure, with `burn_in` playing the role of the mixing
+/// time `T(q, D)`.
+pub fn burn_in_samples<S: Ord + Clone, R: Rng + ?Sized>(
+    chain: &MarkovChain<S>,
+    start: usize,
+    burn_in: usize,
+    n_samples: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    (0..n_samples)
+        .map(|_| run(chain, start, burn_in, rng))
+        .collect()
+}
+
+/// Estimates the probability of `event` under the post-burn-in
+/// distribution: the mean of `n_samples` independent indicator draws.
+pub fn burn_in_event_probability<S: Ord + Clone, R: Rng + ?Sized>(
+    chain: &MarkovChain<S>,
+    start: usize,
+    burn_in: usize,
+    n_samples: usize,
+    mut event: impl FnMut(&S) -> bool,
+    rng: &mut R,
+) -> f64 {
+    assert!(n_samples > 0);
+    let hits = burn_in_samples(chain, start, burn_in, n_samples, rng)
+        .into_iter()
+        .filter(|&i| event(chain.state(i)))
+        .count();
+    hits as f64 / n_samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::exact_stationary;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    /// 0 → 1 w.p. 1; 1 → {0: 1/2, 1: 1/2}; π = (1/3, 2/3).
+    fn two_state() -> MarkovChain<u32> {
+        MarkovChain::from_rows(
+            vec![0, 1],
+            vec![vec![(1, Ratio::one())], vec![(0, r(1, 2)), (1, r(1, 2))]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn step_respects_transition_support() {
+        let c = two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(step(&c, 0, &mut rng), 1); // deterministic row
+            let j = step(&c, 1, &mut rng);
+            assert!(j == 0 || j == 1);
+        }
+    }
+
+    #[test]
+    fn step_frequencies_match_probabilities() {
+        let c = two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let zeros = (0..n).filter(|_| step(&c, 1, &mut rng) == 0).count();
+        assert!((zeros as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn time_average_converges_to_stationary() {
+        let c = two_state();
+        let pi = exact_stationary(&c).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let est = time_average_event(&c, 0, 100_000, |s| *s == 1, &mut rng);
+        assert!((est - pi[1].to_f64()).abs() < 0.01, "{est}");
+    }
+
+    #[test]
+    fn burn_in_sampling_matches_stationary() {
+        let c = two_state();
+        let pi = exact_stationary(&c).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let est = burn_in_event_probability(&c, 0, 50, 5_000, |s| *s == 1, &mut rng);
+        assert!((est - pi[1].to_f64()).abs() < 0.03, "{est}");
+    }
+
+    #[test]
+    fn run_length_zero_stays_put() {
+        let c = two_state();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(run(&c, 0, 0, &mut rng), 0);
+    }
+
+    #[test]
+    fn absorbing_state_traps_walk() {
+        let c = MarkovChain::from_rows(
+            vec![0u32, 1],
+            vec![vec![(1, Ratio::one())], vec![(1, Ratio::one())]],
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(run(&c, 0, 10, &mut rng), 1);
+        let est = time_average_event(&c, 0, 1000, |s| *s == 1, &mut rng);
+        assert_eq!(est, 1.0);
+    }
+}

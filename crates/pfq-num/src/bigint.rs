@@ -1,0 +1,348 @@
+//! Signed arbitrary-precision integers: a sign plus a [`BigUint`] magnitude.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The sign of a [`BigInt`]. Zero has its own sign so the magnitude/sign
+/// pair is a canonical form (`Zero` ⇔ empty magnitude).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds from a sign and magnitude (canonicalizing zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() || sign == Sign::Zero {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Whether the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
+            self.mag.clone(),
+        )
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt {
+            sign,
+            mag: self.mag.clone(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt {
+                sign: a,
+                mag: self.mag.add_ref(&other.mag),
+            },
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt {
+                    sign: self.sign,
+                    mag: self.mag.sub_ref(&other.mag),
+                },
+                Ordering::Less => BigInt {
+                    sign: other.sign,
+                    mag: other.mag.sub_ref(&self.mag),
+                },
+            },
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub_ref(&self, other: &BigInt) -> BigInt {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &BigInt) -> BigInt {
+        let sign = match (self.sign, other.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt {
+            sign,
+            mag: self.mag.mul_ref(&other.mag),
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive if m <= i64::MAX as u128 => Some(m as i64),
+            Sign::Negative if m <= i64::MAX as u128 + 1 => Some((m as i128).wrapping_neg() as i64),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt {
+                sign: Sign::Positive,
+                mag: BigUint::from(v as u64),
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Negative,
+                mag: BigUint::from(v.unsigned_abs()),
+            },
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_sign_mag(Sign::Positive, BigUint::from(v))
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_mag(Sign::Positive, mag)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Zero => Ordering::Equal,
+                Sign::Negative => other.mag.cmp(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.neg_ref()
+    }
+}
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        self.add_ref(rhs)
+    }
+}
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self.sub_ref(rhs)
+    }
+}
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        self.mul_ref(rhs)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_canonicalizes_zero() {
+        assert_eq!(
+            BigInt::from_sign_mag(Sign::Negative, BigUint::zero()),
+            BigInt::zero()
+        );
+        assert_eq!(bi(0), BigInt::zero());
+        assert_eq!(bi(0).sign(), Sign::Zero);
+    }
+
+    #[test]
+    fn signs() {
+        assert!(bi(5).is_positive());
+        assert!(bi(-5).is_negative());
+        assert!(bi(0).is_zero());
+        assert_eq!(bi(-5).abs(), bi(5));
+        assert_eq!(bi(-5).neg_ref(), bi(5));
+        assert_eq!(bi(0).neg_ref(), bi(0));
+    }
+
+    #[test]
+    fn mixed_sign_add() {
+        assert_eq!(bi(5).add_ref(&bi(-3)), bi(2));
+        assert_eq!(bi(3).add_ref(&bi(-5)), bi(-2));
+        assert_eq!(bi(5).add_ref(&bi(-5)), bi(0));
+        assert_eq!(bi(-5).add_ref(&bi(-3)), bi(-8));
+    }
+
+    #[test]
+    fn sub_and_mul() {
+        assert_eq!(bi(5).sub_ref(&bi(8)), bi(-3));
+        assert_eq!(bi(-4).mul_ref(&bi(-3)), bi(12));
+        assert_eq!(bi(-4).mul_ref(&bi(3)), bi(-12));
+        assert_eq!(bi(0).mul_ref(&bi(3)), bi(0));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(bi(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = BigInt::from(BigUint::from(u64::MAX));
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(bi(-10) < bi(-1));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(1) < bi(10));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-42).to_string(), "-42");
+        assert_eq!(bi(42).to_string(), "42");
+        assert_eq!(bi(0).to_string(), "0");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_i64(a in -(1i64<<62)..(1i64<<62), b in -(1i64<<62)..(1i64<<62)) {
+            prop_assert_eq!(bi(a).add_ref(&bi(b)).to_i64(), Some(a + b));
+        }
+
+        #[test]
+        fn prop_sub_matches_i64(a in -(1i64<<62)..(1i64<<62), b in -(1i64<<62)..(1i64<<62)) {
+            prop_assert_eq!(bi(a).sub_ref(&bi(b)).to_i64(), Some(a - b));
+        }
+
+        #[test]
+        fn prop_mul_matches_i64(a in -(1i64<<31)..(1i64<<31), b in -(1i64<<31)..(1i64<<31)) {
+            prop_assert_eq!(bi(a).mul_ref(&bi(b)).to_i64(), Some(a * b));
+        }
+
+        #[test]
+        fn prop_cmp_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a).cmp(&bi(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_neg_involution(a in any::<i64>()) {
+            prop_assert_eq!(bi(a).neg_ref().neg_ref(), bi(a));
+        }
+    }
+}

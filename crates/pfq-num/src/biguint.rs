@@ -1,0 +1,728 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with no trailing zero
+//! limb (zero is the empty vector). All arithmetic is exact; division is
+//! Knuth's Algorithm D, GCD is binary (Stein's algorithm) so that rational
+//! normalization never goes through slow repeated division.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// ```
+/// use pfq_num::BigUint;
+/// let a = BigUint::from(2u64).pow(200);
+/// let (q, r) = a.div_rem(&BigUint::from(3u64).pow(40));
+/// assert_eq!(q.mul_ref(&BigUint::from(3u64).pow(40)).add_ref(&r), a);
+/// assert_eq!(BigUint::from(12u64).gcd(&BigUint::from(18u64)), BigUint::from(6u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian base-2⁶⁴ limbs; invariant: no trailing zero limb.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from raw little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrow the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Whether the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Whether the value is even (0 counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() as u64 * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// Value of bit `i` (counting from the least-significant bit).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of trailing zero bits; `None` for the value 0.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u64 * 64 + l.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (rounds; huge values become `f64::INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => self.to_u128().unwrap() as f64,
+            n => {
+                // Take the top 128 bits and scale by the remaining exponent.
+                let hi = (self.limbs[n - 1] as u128) << 64 | self.limbs[n - 2] as u128;
+                let exp = (n - 2) as i32 * 64;
+                (hi as f64) * 2f64.powi(exp)
+            }
+        }
+    }
+
+    /// `self + other`.
+    #[allow(clippy::needless_range_loop)] // lockstep carry propagation over two slices
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub_ref(&self, other: &BigUint) -> BigUint {
+        assert!(
+            *self >= *other,
+            "BigUint subtraction underflow: {self} - {other}"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// `self * other` (schoolbook multiplication).
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Division with remainder by a single `u64`; panics on division by zero.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Euclidean division with remainder; panics on division by zero.
+    ///
+    /// Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+    pub fn div_rem(&self, other: &BigUint) -> (BigUint, BigUint) {
+        assert!(!other.is_zero(), "division by zero");
+        if self < other {
+            return (BigUint::zero(), self.clone());
+        }
+        if other.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(other.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = other.limbs.last().unwrap().leading_zeros();
+        let v = other.shl_bits(shift as u64);
+        let mut u = self.shl_bits(shift as u64).limbs;
+        let n = v.limbs.len();
+        u.push(0); // extra high limb for the algorithm
+        let m = u.len() - n - 1;
+        let vtop = v.limbs[n - 1];
+        let vsec = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        // D2..D7: compute one quotient limb per iteration, from the top.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two limbs of the current window.
+            let top = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
+            let mut qhat = top / vtop as u128;
+            let mut rhat = top % vtop as u128;
+            while qhat >> 64 != 0 || qhat * vsec as u128 > (rhat << 64 | u[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += vtop as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // D4: multiply-and-subtract qhat * v from u[j .. j+n+1].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let t = u[j + i] as i128 - (p as u64) as i128 + borrow;
+                u[j + i] = t as u64;
+                borrow = t >> 64; // arithmetic shift: 0 or -1
+            }
+            let t = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = t as u64;
+            // D5/D6: if we subtracted too much, add v back once.
+            if t < 0 {
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = u[j + i].overflowing_add(v.limbs[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    u[j + i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                u[j + n] = u[j + n].wrapping_add(carry);
+            }
+            q[j] = qhat as u64;
+        }
+
+        // D8: denormalize the remainder.
+        let rem = BigUint::from_limbs(u[..n].to_vec()).shr_bits(shift as u64);
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Left shift by an arbitrary bit count.
+    pub fn shl_bits(&self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push(l << bit_shift | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by an arbitrary bit count (bits shifted out are dropped).
+    pub fn shr_bits(&self, bits: u64) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push(src[i] >> bit_shift | hi.checked_shl(64 - bit_shift as u32).unwrap_or(0));
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Greatest common divisor (binary/Stein algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros().unwrap();
+        let zb = b.trailing_zeros().unwrap();
+        let common = za.min(zb);
+        a = a.shr_bits(za);
+        b = b.shr_bits(zb);
+        // Invariant: a, b both odd.
+        loop {
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a = a.sub_ref(&b);
+            // a is now even and nonzero.
+            let z = a.trailing_zeros().unwrap();
+            a = a.shr_bits(z);
+        }
+        a.shl_bits(common)
+    }
+
+    /// `self ^ exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp != 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp != 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string of ASCII digits.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for b in s.bytes() {
+            acc = acc.mul_ref(&ten).add_ref(&BigUint::from((b - b'0') as u64));
+        }
+        Some(acc)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_ref(&rhs)
+    }
+}
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = self.sub_ref(rhs);
+    }
+}
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = digits.pop().unwrap().to_string();
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::zero(), BigUint::from(0u64));
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        assert_eq!(BigUint::from_limbs(vec![0, 0, 0]), BigUint::zero());
+        assert_eq!(BigUint::from_limbs(vec![5, 0]), BigUint::from(5u64));
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = big(u128::MAX);
+        let b = BigUint::one();
+        let s = a.add_ref(&b);
+        assert_eq!(s.limbs(), &[0, 0, 1]);
+        assert_eq!(s.sub_ref(&b), big(u128::MAX));
+    }
+
+    #[test]
+    fn sub_basic() {
+        assert_eq!(big(1000).sub_ref(&big(1)), big(999));
+        assert_eq!(big(1 << 64).sub_ref(&big(1)), big((1 << 64) - 1));
+        assert_eq!(big(42).sub_ref(&big(42)), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub_ref(&big(2));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big(u64::MAX as u128);
+        let sq = a.mul_ref(&a);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = ((1u128 << 64) - 1).wrapping_mul((1u128 << 64) - 1);
+        assert_eq!(sq.to_u128().unwrap(), expected);
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = big(123456789);
+        assert_eq!(a.mul_ref(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul_ref(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn div_rem_u64_matches() {
+        let a = big(12345678901234567890123456789);
+        let (q, r) = a.div_rem_u64(97);
+        assert_eq!(q.to_u128().unwrap(), 12345678901234567890123456789 / 97);
+        assert_eq!(r as u128, 12345678901234567890123456789 % 97);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        // 2^192 / (2^64 + 3)
+        let a = BigUint::one().shl_bits(192);
+        let b = big((1u128 << 64) + 3);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_smaller_by_larger() {
+        let (q, r) = big(5).div_rem(&big(7));
+        assert!(q.is_zero());
+        assert_eq!(r, big(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big(0xDEADBEEFCAFEBABE);
+        assert_eq!(a.shl_bits(100).shr_bits(100), a);
+        assert_eq!(a.shl_bits(0), a);
+        assert_eq!(a.shr_bits(200), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = big(0b1010);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(!a.bit(2));
+        assert!(a.bit(3));
+        assert!(!a.bit(1000));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(48).gcd(&big(48)), big(48));
+        // Large power-of-two-heavy case.
+        let a = BigUint::from(3u64).pow(40).shl_bits(50);
+        let b = BigUint::from(3u64).pow(20).shl_bits(70);
+        assert_eq!(a.gcd(&b), BigUint::from(3u64).pow(20).shl_bits(50));
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(7).pow(0), BigUint::one());
+        assert_eq!(big(0).pow(5), BigUint::zero());
+        assert_eq!(big(2).pow(100).bits(), 101);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = big(2).pow(100);
+        assert_eq!(a.to_string(), "1267650600228229401496703205376");
+        assert_eq!(BigUint::from_decimal(&a.to_string()).unwrap(), a);
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from_decimal("x"), None);
+        assert_eq!(BigUint::from_decimal(""), None);
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let a = big(2).pow(100);
+        let f = a.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-10);
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+        assert_eq!(big(12345).to_f64(), 12345.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(big(1 << 80) > big(u64::MAX as u128));
+        assert!(BigUint::zero() < BigUint::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let s = big(a as u128).add_ref(&big(b as u128));
+            prop_assert_eq!(s.to_u128().unwrap(), a as u128 + b as u128);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let p = big(a as u128).mul_ref(&big(b as u128));
+            prop_assert_eq!(p.to_u128().unwrap(), a as u128 * b as u128);
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(a in any::<u128>(), b in 1..=u128::MAX) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q.mul_ref(&big(b)).add_ref(&r), big(a));
+            prop_assert!(r < big(b));
+        }
+
+        #[test]
+        fn prop_div_rem_large(a_hi in any::<u64>(), a_lo in any::<u64>(),
+                              b_hi in 1..=u64::MAX, b_lo in any::<u64>()) {
+            // 3-limb dividend, 2-limb divisor exercises the Knuth D core.
+            let a = BigUint::from_limbs(vec![a_lo, a_hi, 1]);
+            let b = BigUint::from_limbs(vec![b_lo, b_hi]);
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+            prop_assert!(r < b);
+        }
+
+        #[test]
+        fn prop_gcd_matches_euclid(a in any::<u64>(), b in any::<u64>()) {
+            fn euclid(mut a: u64, mut b: u64) -> u64 {
+                while b != 0 { let t = a % b; a = b; b = t; }
+                a
+            }
+            prop_assert_eq!(big(a as u128).gcd(&big(b as u128)), big(euclid(a, b) as u128));
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in any::<u64>(), b in 1..=u64::MAX) {
+            let g = big(a as u128).gcd(&big(b as u128));
+            let (_, r1) = big(b as u128).div_rem(&g);
+            prop_assert!(r1.is_zero());
+            if a != 0 {
+                let (_, r2) = big(a as u128).div_rem(&g);
+                prop_assert!(r2.is_zero());
+            }
+        }
+
+        #[test]
+        fn prop_sub_add_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(big(hi).sub_ref(&big(lo)).add_ref(&big(lo)), big(hi));
+        }
+
+        #[test]
+        fn prop_shift_is_mul_by_pow2(a in any::<u64>(), s in 0u64..64) {
+            let shifted = big(a as u128).shl_bits(s);
+            prop_assert_eq!(shifted, big((a as u128) << s));
+        }
+
+        #[test]
+        fn prop_display_roundtrip(a in any::<u128>()) {
+            let x = big(a);
+            prop_assert_eq!(BigUint::from_decimal(&x.to_string()).unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Exact rational numbers — the probability type of the whole workspace.
+//!
+//! A [`Ratio`] is always kept in canonical form: the denominator is
+//! strictly positive, the fraction is fully reduced, and zero is `0/1`.
+//! Canonical form makes `Eq`/`Hash` structural and `Ord` a true total
+//! order, so rationals can key `BTreeMap`s of possible worlds.
+
+use crate::{BigInt, BigUint, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den` in canonical (reduced) form.
+///
+/// ```
+/// use pfq_num::Ratio;
+/// let p = Ratio::new(1, 2).pow(100);          // 1/2^100, exactly
+/// let sum: Ratio = std::iter::repeat(p.clone()).take(1 << 20).sum();
+/// assert_eq!(sum, Ratio::new(1, 2).pow(80));  // no rounding anywhere
+/// assert_eq!(Ratio::new(2, 3).to_decimal(5), "0.66667");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigUint, // invariant: > 0 and gcd(|num|, den) == 1; zero is 0/1
+}
+
+impl Ratio {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Ratio {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Ratio {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Builds `num/den` from machine integers; panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign_flip = den < 0;
+        let num = if sign_flip {
+            BigInt::from(num).neg_ref()
+        } else {
+            BigInt::from(num)
+        };
+        Ratio::from_parts(num, BigUint::from(den.unsigned_abs()))
+    }
+
+    /// Builds `num/den` from big integers, normalizing; panics if `den == 0`.
+    pub fn from_parts(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return Ratio::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            return Ratio { num, den };
+        }
+        let (nm, _) = num.magnitude().div_rem(&g);
+        let (nd, _) = den.div_rem(&g);
+        Ratio {
+            num: BigInt::from_sign_mag(num.sign(), nm),
+            den: nd,
+        }
+    }
+
+    /// The integer `v` as a rational.
+    pub fn from_integer(v: i64) -> Self {
+        Ratio {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Numerator (signed, reduced).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive, reduced).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Whether the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.num.is_positive() && self.num.magnitude().is_one() && self.den.is_one()
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Whether the value lies in the closed interval `[0, 1]` — i.e. is a
+    /// valid probability.
+    pub fn is_probability(&self) -> bool {
+        !self.is_negative() && *self <= Ratio::one()
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Ratio) -> Ratio {
+        // a/b + c/d = (a*d + c*b) / (b*d)
+        let num = self
+            .num
+            .mul_ref(&BigInt::from(other.den.clone()))
+            .add_ref(&other.num.mul_ref(&BigInt::from(self.den.clone())));
+        Ratio::from_parts(num, self.den.mul_ref(&other.den))
+    }
+
+    /// `self - other`.
+    pub fn sub_ref(&self, other: &Ratio) -> Ratio {
+        self.add_ref(&other.neg_ref())
+    }
+
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &Ratio) -> Ratio {
+        if self.is_zero() || other.is_zero() {
+            return Ratio::zero();
+        }
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = self.num.magnitude().gcd(&other.den);
+        let g2 = other.num.magnitude().gcd(&self.den);
+        let (n1, _) = self.num.magnitude().div_rem(&g1);
+        let (d2, _) = other.den.div_rem(&g1);
+        let (n2, _) = other.num.magnitude().div_rem(&g2);
+        let (d1, _) = self.den.div_rem(&g2);
+        let sign = if self.num.sign() == other.num.sign() {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        Ratio {
+            num: BigInt::from_sign_mag(sign, n1.mul_ref(&n2)),
+            den: d1.mul_ref(&d2),
+        }
+    }
+
+    /// `self / other`; panics if `other == 0`.
+    pub fn div_ref(&self, other: &Ratio) -> Ratio {
+        self.mul_ref(&other.recip())
+    }
+
+    /// Multiplicative inverse; panics on 0.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "division by zero");
+        Ratio {
+            num: BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// Negation.
+    pub fn neg_ref(&self) -> Ratio {
+        Ratio {
+            num: self.num.neg_ref(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// `|self - other|`.
+    pub fn abs_diff(&self, other: &Ratio) -> Ratio {
+        self.sub_ref(other).abs()
+    }
+
+    /// `self ^ exp` by repeated squaring.
+    pub fn pow(&self, exp: u64) -> Ratio {
+        if exp == 0 {
+            return Ratio::one();
+        }
+        Ratio {
+            num: BigInt::from_sign_mag(
+                if self.num.is_negative() && exp % 2 == 1 {
+                    Sign::Negative
+                } else if self.is_zero() {
+                    Sign::Zero
+                } else {
+                    Sign::Positive
+                },
+                self.num.magnitude().pow(exp),
+            ),
+            den: self.den.pow(exp),
+        }
+    }
+
+    /// Lossy conversion to `f64`, robust to huge numerators/denominators.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.magnitude().bits() as i64;
+        let db = self.den.bits() as i64;
+        // Shift so the integer quotient carries ~64 significant bits.
+        let shift = 64 + db - nb;
+        let (q, _) = if shift >= 0 {
+            self.num
+                .magnitude()
+                .shl_bits(shift as u64)
+                .div_rem(&self.den)
+        } else {
+            self.num
+                .magnitude()
+                .div_rem(&self.den.shl_bits((-shift) as u64))
+        };
+        let v = q.to_f64() * 2f64.powi(-shift as i32);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Exact decimal rendering with `digits` fractional digits, rounded
+    /// half-away-from-zero: `Ratio::new(1, 3).to_decimal(4) == "0.3333"`.
+    pub fn to_decimal(&self, digits: usize) -> String {
+        let scale = BigUint::from(10u64).pow(digits as u64);
+        // round(|num| · 10^d / den)
+        let scaled = self.num.magnitude().mul_ref(&scale);
+        let (q, r) = scaled.div_rem(&self.den);
+        let twice_r = r.shl_bits(1);
+        let q = if twice_r >= self.den {
+            q.add_ref(&BigUint::one())
+        } else {
+            q
+        };
+        let digits_str = q.to_string();
+        let sign = if self.is_negative() && !q.is_zero() {
+            "-"
+        } else {
+            ""
+        };
+        if digits == 0 {
+            return format!("{sign}{digits_str}");
+        }
+        let padded = format!("{digits_str:0>width$}", width = digits + 1);
+        let (int_part, frac_part) = padded.split_at(padded.len() - digits);
+        format!("{sign}{int_part}.{frac_part}")
+    }
+
+    /// Parses `"a"`, `"-a"`, `"a/b"`, or `"-a/b"` with decimal components.
+    pub fn parse(s: &str) -> Option<Ratio> {
+        let (neg, rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s),
+        };
+        let (n, d) = match rest.split_once('/') {
+            Some((n, d)) => (BigUint::from_decimal(n)?, BigUint::from_decimal(d)?),
+            None => (BigUint::from_decimal(rest)?, BigUint::one()),
+        };
+        if d.is_zero() {
+            return None;
+        }
+        let sign = if n.is_zero() {
+            Sign::Zero
+        } else if neg {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        Some(Ratio::from_parts(BigInt::from_sign_mag(sign, n), d))
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio::from_integer(v)
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  ⇔  a*d ? c*b  (b, d > 0)
+        self.num
+            .mul_ref(&BigInt::from(other.den.clone()))
+            .cmp(&other.num.mul_ref(&BigInt::from(self.den.clone())))
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        self.add_ref(rhs)
+    }
+}
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        self.add_ref(&rhs)
+    }
+}
+impl Sub for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        self.sub_ref(rhs)
+    }
+}
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self.sub_ref(&rhs)
+    }
+}
+impl Mul for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        self.mul_ref(rhs)
+    }
+}
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        self.mul_ref(&rhs)
+    }
+}
+impl Div for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        self.div_ref(rhs)
+    }
+}
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self.div_ref(&rhs)
+    }
+}
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        self.neg_ref()
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc.add_ref(&x))
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| acc.add_ref(x))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Ratio {
+        Ratio::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 7), Ratio::zero());
+        assert_eq!(r(6, 3), Ratio::from_integer(2));
+        assert_eq!(r(2, 4).numer(), &BigInt::from(1i64));
+        assert_eq!(r(2, 4).denom(), &BigUint::from(2u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2).add_ref(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).sub_ref(&r(1, 3)), r(1, 6));
+        assert_eq!(r(2, 3).mul_ref(&r(3, 4)), r(1, 2));
+        assert_eq!(r(1, 2).div_ref(&r(1, 4)), Ratio::from_integer(2));
+        assert_eq!(r(-1, 2).add_ref(&r(1, 2)), Ratio::zero());
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(r(2, 3).recip(), r(3, 2));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(1, 2).pow(10), r(1, 1024));
+        assert_eq!(r(-1, 2).pow(3), r(-1, 8));
+        assert_eq!(r(-1, 2).pow(2), r(1, 4));
+        assert_eq!(r(7, 3).pow(0), Ratio::one());
+        assert_eq!(Ratio::zero().pow(4), Ratio::zero());
+    }
+
+    #[test]
+    fn probability_range() {
+        assert!(Ratio::zero().is_probability());
+        assert!(Ratio::one().is_probability());
+        assert!(r(17, 20).is_probability());
+        assert!(!r(21, 20).is_probability());
+        assert!(!r(-1, 20).is_probability());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 8) < Ratio::one());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-22, 7).to_f64() + 22.0 / 7.0).abs() < 1e-14);
+        assert_eq!(Ratio::zero().to_f64(), 0.0);
+        // Huge numerator and denominator that individually overflow f64.
+        let huge = Ratio::from_parts(
+            BigInt::from(BigUint::from(3u64).pow(1000)),
+            BigUint::from(3u64).pow(1000).mul_ref(&BigUint::from(2u64)),
+        );
+        assert!((huge.to_f64() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tiny_probability_is_exact() {
+        // 1/2^200 — the kind of value the 3-SAT reduction produces.
+        let p = r(1, 2).pow(200);
+        let sum: Ratio = std::iter::repeat_n(p.clone(), 1 << 10).sum();
+        assert_eq!(sum, r(1, 2).pow(190));
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(r(1, 3).to_decimal(4), "0.3333");
+        assert_eq!(r(2, 3).to_decimal(4), "0.6667"); // rounds up
+        assert_eq!(r(1, 2).to_decimal(0), "1"); // half away from zero
+        assert_eq!(r(-1, 3).to_decimal(3), "-0.333");
+        assert_eq!(r(5, 4).to_decimal(2), "1.25");
+        assert_eq!(Ratio::from_integer(42).to_decimal(2), "42.00");
+        assert_eq!(Ratio::zero().to_decimal(3), "0.000");
+        assert_eq!(r(-1, 1000000).to_decimal(2), "0.00"); // rounds to signless zero
+                                                          // Exactness far past f64: 1/3 to 40 digits.
+        assert_eq!(
+            r(1, 3).to_decimal(40),
+            "0.3333333333333333333333333333333333333333"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(Ratio::parse("17/20"), Some(r(17, 20)));
+        assert_eq!(Ratio::parse("-3/9"), Some(r(-1, 3)));
+        assert_eq!(Ratio::parse("5"), Some(Ratio::from_integer(5)));
+        assert_eq!(Ratio::parse("0/9"), Some(Ratio::zero()));
+        assert_eq!(Ratio::parse("1/0"), None);
+        assert_eq!(Ratio::parse("a/b"), None);
+        assert_eq!(Ratio::parse(""), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-4, 2).to_string(), "-2");
+        assert_eq!(Ratio::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = [r(1, 4), r(1, 4), r(1, 2)];
+        let total: Ratio = parts.iter().sum();
+        assert_eq!(total, Ratio::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in -100i64..100, b in 1i64..100,
+                             c in -100i64..100, d in 1i64..100,
+                             e in -100i64..100, f in 1i64..100) {
+            let (x, y, z) = (r(a, b), r(c, d), r(e, f));
+            // Commutativity and associativity.
+            prop_assert_eq!(x.add_ref(&y), y.add_ref(&x));
+            prop_assert_eq!(x.mul_ref(&y), y.mul_ref(&x));
+            prop_assert_eq!(x.add_ref(&y).add_ref(&z), x.add_ref(&y.add_ref(&z)));
+            prop_assert_eq!(x.mul_ref(&y).mul_ref(&z), x.mul_ref(&y.mul_ref(&z)));
+            // Distributivity.
+            prop_assert_eq!(x.mul_ref(&y.add_ref(&z)),
+                            x.mul_ref(&y).add_ref(&x.mul_ref(&z)));
+            // Identities & inverses.
+            prop_assert_eq!(x.add_ref(&Ratio::zero()), x.clone());
+            prop_assert_eq!(x.mul_ref(&Ratio::one()), x.clone());
+            prop_assert_eq!(x.sub_ref(&x), Ratio::zero());
+            if !x.is_zero() {
+                prop_assert_eq!(x.mul_ref(&x.recip()), Ratio::one());
+            }
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(a in -1000i64..1000, b in 1i64..1000,
+                                c in -1000i64..1000, d in 1i64..1000) {
+            let (x, y) = (r(a, b), r(c, d));
+            let (fx, fy) = (a as f64 / b as f64, c as f64 / d as f64);
+            if (fx - fy).abs() > 1e-9 {
+                prop_assert_eq!(x < y, fx < fy);
+            }
+        }
+
+        #[test]
+        fn prop_to_f64_close(a in -10000i64..10000, b in 1i64..10000) {
+            let x = r(a, b);
+            prop_assert!((x.to_f64() - a as f64 / b as f64).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(a in any::<i64>(), b in 1i64..i64::MAX) {
+            let x = r(a, b);
+            prop_assert_eq!(Ratio::parse(&x.to_string()), Some(x));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 2's basketball example — the paper's running `repair-key`
+//! illustration (Example 2.2).
+
+use pfq_data::{tuple, Database, Relation, Schema};
+
+/// The Table 2 relation `R(player, team, belief)`.
+pub fn players_relation() -> Relation {
+    Relation::from_rows(
+        Schema::new(["player", "team", "belief"]),
+        [
+            tuple!["bryant", "la_lakers", 17],
+            tuple!["bryant", "ny_knicks", 3],
+            tuple!["iverson", "philadelphia_76ers", 8],
+            tuple!["iverson", "memphis_grizzlies", 7],
+        ],
+    )
+}
+
+/// The database holding Table 2 under the name `R`.
+pub fn database() -> Database {
+    Database::new().with("R", players_relation())
+}
+
+/// A larger synthetic roster in the same shape: `players` key values with
+/// `options` weighted alternatives each — used to scale the E9 benchmark.
+pub fn synthetic_roster(players: usize, options: usize) -> Relation {
+    let mut rel = Relation::empty(Schema::new(["player", "team", "belief"]));
+    for p in 0..players as i64 {
+        for t in 0..options as i64 {
+            rel.insert(tuple![
+                format!("p{p}").as_str(),
+                format!("t{t}").as_str(),
+                t + 1
+            ]);
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_algebra::repair_key::enumerate_repairs;
+    use pfq_num::Ratio;
+
+    #[test]
+    fn example_2_2_probabilities() {
+        let worlds = enumerate_repairs(
+            &players_relation(),
+            &["player".into()],
+            Some("belief"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(worlds.support_size(), 4);
+        assert!(worlds.is_proper());
+        // Pr(bryant → lakers) = 17/20 across worlds.
+        let p = worlds.probability_that(|w| w.contains(&tuple!["bryant", "la_lakers", 17]));
+        assert_eq!(p, Ratio::new(17, 20));
+        // Pr(iverson → grizzlies) = 7/15.
+        let p = worlds.probability_that(|w| w.contains(&tuple!["iverson", "memphis_grizzlies", 7]));
+        assert_eq!(p, Ratio::new(7, 15));
+    }
+
+    #[test]
+    fn synthetic_roster_shape() {
+        let r = synthetic_roster(7, 3);
+        assert_eq!(r.len(), 21);
+        let worlds = enumerate_repairs(&r, &["player".into()], Some("belief"), None).unwrap();
+        assert_eq!(worlds.support_size(), 3usize.pow(7));
+        assert!(worlds.is_proper());
+    }
+}

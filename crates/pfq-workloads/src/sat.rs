@@ -1,0 +1,404 @@
+//! 3-SAT instances and the paper's hardness reductions.
+//!
+//! Theorems 4.1 and 5.1 prove inapproximability by compiling a 3-CNF
+//! formula into a probabilistic database and a datalog program whose
+//! query probability separates satisfiable from unsatisfiable formulas.
+//! These constructions double as *worst-case workloads*: running the
+//! implemented algorithms on them demonstrates the claimed exponential
+//! behaviour empirically (experiments E1–E3).
+//!
+//! Literal encoding: variable `i` (1-based) is the integer `i`, its
+//! negation `−i`.
+
+use pfq_core::{DatalogQuery, Event};
+use pfq_ctable::{Condition, PcDatabase, PcTable, RandomVariable};
+use pfq_data::{tuple, Database, Relation, Schema};
+use rand::Rng;
+
+/// A CNF formula with exactly-3-literal clauses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (named `1..=num_vars`).
+    pub num_vars: usize,
+    /// Clauses as triples of literals (`±variable`).
+    pub clauses: Vec<[i64; 3]>,
+}
+
+impl Cnf {
+    /// Builds a formula, validating literal ranges.
+    pub fn new(num_vars: usize, clauses: Vec<[i64; 3]>) -> Cnf {
+        for clause in &clauses {
+            for &lit in clause {
+                let v = lit.unsigned_abs() as usize;
+                assert!(
+                    lit != 0 && v <= num_vars,
+                    "literal {lit} out of range for {num_vars} variables"
+                );
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Whether `assignment` (bit `i−1` = value of variable `i`) satisfies
+    /// the formula.
+    pub fn satisfied_by(&self, assignment: u64) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let v = lit.unsigned_abs() as usize;
+                let val = assignment >> (v - 1) & 1 == 1;
+                (lit > 0) == val
+            })
+        })
+    }
+
+    /// Brute-force count of satisfying assignments (for reference).
+    pub fn count_satisfying(&self) -> u64 {
+        assert!(self.num_vars <= 30, "brute force only for small formulas");
+        (0..1u64 << self.num_vars)
+            .filter(|&a| self.satisfied_by(a))
+            .count() as u64
+    }
+
+    /// A random 3-CNF with `n_clauses` clauses of distinct variables.
+    pub fn random<R: Rng + ?Sized>(num_vars: usize, n_clauses: usize, rng: &mut R) -> Cnf {
+        assert!(num_vars >= 3);
+        let mut clauses = Vec::with_capacity(n_clauses);
+        for _ in 0..n_clauses {
+            let mut vars: Vec<i64> = Vec::new();
+            while vars.len() < 3 {
+                let v = rng.gen_range(1..=num_vars as i64);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            let lits = [
+                if rng.gen() { vars[0] } else { -vars[0] },
+                if rng.gen() { vars[1] } else { -vars[1] },
+                if rng.gen() { vars[2] } else { -vars[2] },
+            ];
+            clauses.push(lits);
+        }
+        Cnf::new(num_vars, clauses)
+    }
+
+    /// A random formula guaranteed satisfiable: clauses are generated
+    /// until each contains at least one literal true under a planted
+    /// assignment.
+    pub fn random_satisfiable<R: Rng + ?Sized>(
+        num_vars: usize,
+        n_clauses: usize,
+        rng: &mut R,
+    ) -> (Cnf, u64) {
+        let planted: u64 = rng.gen::<u64>() & ((1 << num_vars) - 1);
+        let mut clauses = Vec::with_capacity(n_clauses);
+        while clauses.len() < n_clauses {
+            let c = Cnf::random(num_vars, 1, rng).clauses[0];
+            let ok = c.iter().any(|&lit| {
+                let v = lit.unsigned_abs() as usize;
+                (lit > 0) == (planted >> (v - 1) & 1 == 1)
+            });
+            if ok {
+                clauses.push(c);
+            }
+        }
+        (Cnf::new(num_vars, clauses), planted)
+    }
+
+    /// A formula over `k + 2` variables whose satisfying assignments pin
+    /// variables `1..=k` to true (the two helper variables stay free):
+    /// exactly `4` satisfying assignments, so the Theorem 4.1 query
+    /// probability is `4/2^{k+2} = 1/2^k` — the knob the E3 experiment
+    /// turns to make the target probability exponentially small.
+    pub fn pinned(k: usize) -> Cnf {
+        assert!(k >= 1);
+        let n = k + 2;
+        let (ha, hb) = (n as i64 - 1, n as i64); // helper variables
+        let mut clauses = Vec::new();
+        for v in 1..=k as i64 {
+            for (sa, sb) in [(1, 1), (1, -1), (-1, 1), (-1, -1)] {
+                clauses.push([v, sa * ha, sb * hb]);
+            }
+        }
+        Cnf::new(n, clauses)
+    }
+
+    /// The canonical small unsatisfiable formula: all 8 sign patterns
+    /// over variables 1, 2, 3.
+    pub fn unsatisfiable() -> Cnf {
+        let mut clauses = Vec::new();
+        for mask in 0..8i64 {
+            clauses.push([
+                if mask & 1 == 1 { 1 } else { -1 },
+                if mask & 2 == 2 { 2 } else { -2 },
+                if mask & 4 == 4 { 3 } else { -3 },
+            ]);
+        }
+        Cnf::new(3, clauses)
+    }
+}
+
+/// The clause-chain EDB shared by both reductions: `O(c_{k-1}, c_k)` and
+/// `Cl(c_k, literal)` with clause markers as integers `0..=m`.
+fn clause_relations(cnf: &Cnf) -> (Relation, Relation) {
+    let m = cnf.clauses.len() as i64;
+    let o = Relation::from_rows(Schema::new(["c1", "c2"]), (0..m).map(|k| tuple![k, k + 1]));
+    let mut cl = Relation::empty(Schema::new(["c", "l"]));
+    for (k, clause) in cnf.clauses.iter().enumerate() {
+        for &lit in clause {
+            cl.insert(tuple![k as i64 + 1, lit]);
+        }
+    }
+    (o, cl)
+}
+
+/// The `A(l)` pc-table: one fair coin per variable; `A` holds the true
+/// literal of each variable.
+fn literal_pc_table(cnf: &Cnf) -> PcDatabase {
+    let mut db = PcDatabase::new();
+    let mut a = PcTable::new(Schema::new(["l"]));
+    for v in 1..=cnf.num_vars as i64 {
+        let x = format!("x{v}");
+        db.declare_variable(RandomVariable::fair_coin(&x)).unwrap();
+        a.add(tuple![v], Condition::eq(&x, 1));
+        a.add(tuple![-v], Condition::eq(&x, 0));
+    }
+    db.add_table("A", a);
+    db
+}
+
+/// Theorem 4.1's reduction, pc-table variant (conditions (1) + (2')):
+/// a *linear* datalog program over a probabilistic c-table whose query
+/// probability is `≥ 1/2ⁿ` iff the formula is satisfiable, else exactly 0.
+pub fn theorem_4_1_pc(cnf: &Cnf) -> (DatalogQuery, PcDatabase) {
+    let (o, cl) = clause_relations(cnf);
+    let mut input = literal_pc_table(cnf);
+    input.add_certain("O", o);
+    input.add_certain("Cl", cl);
+    let m = cnf.clauses.len() as i64;
+    let program = pfq_datalog::parse_program(&format!(
+        "R(0).\n\
+         R(C) :- R(Cp), O(Cp, C), Cl(C, L), A(L).\n\
+         Done(a) :- R({m})."
+    ))
+    .expect("static reduction program parses");
+    (
+        DatalogQuery::new(program, Event::tuple_in("Done", tuple!["a"])),
+        input,
+    )
+}
+
+/// Theorem 4.1's reduction, repair-key variant (conditions (1) + (2)):
+/// the assignment is chosen by a probabilistic rule over the base
+/// relation `AW(variable, literal)` instead of a pc-table.
+pub fn theorem_4_1_repair_key(cnf: &Cnf) -> (DatalogQuery, Database) {
+    let (o, cl) = clause_relations(cnf);
+    let mut aw = Relation::empty(Schema::new(["v", "l"]));
+    for v in 1..=cnf.num_vars as i64 {
+        aw.insert(tuple![v, v]);
+        aw.insert(tuple![v, -v]);
+    }
+    let db = Database::new().with("O", o).with("Cl", cl).with("AW", aw);
+    let m = cnf.clauses.len() as i64;
+    let program = pfq_datalog::parse_program(&format!(
+        "A(V!, L) :- AW(V, L).\n\
+         R(0).\n\
+         R(C) :- R(Cp), O(Cp, C), Cl(C, L), A(V, L).\n\
+         Done(a) :- R({m})."
+    ))
+    .expect("static reduction program parses");
+    (
+        DatalogQuery::new(program, Event::tuple_in("Done", tuple!["a"])),
+        db,
+    )
+}
+
+/// Theorem 5.1's reduction: a *non-inflationary* datalog program over the
+/// same pc-table whose query probability is exactly 1 iff the formula is
+/// satisfiable, else 0 — making even absolute approximation NP-hard.
+///
+/// Returns the query, the pc-table input, and the certain part of the
+/// database; under the non-inflationary semantics the pc-table is
+/// re-sampled at every iteration (its macro becomes part of the kernel).
+pub fn theorem_5_1(cnf: &Cnf) -> (DatalogQuery, PcDatabase) {
+    let (o, cl) = clause_relations(cnf);
+    let mut input = literal_pc_table(cnf);
+    input.add_certain("O", o);
+    input.add_certain("Cl", cl);
+    let m = cnf.clauses.len() as i64;
+    // R(c, l): literal l of the flowing assignment survives clauses 1..c.
+    let program = pfq_datalog::parse_program(&format!(
+        "R(0, L) :- A(L).\n\
+         R(Ck, L) :- R(Ckp, L), R(Ckp, L2), O(Ckp, Ck), Cl(Ck, L2).\n\
+         Done(a) :- R({m}, L).\n\
+         Done(X) :- Done(X)."
+    ))
+    .expect("static reduction program parses");
+    (
+        DatalogQuery::new(program, Event::tuple_in("Done", tuple!["a"])),
+        input,
+    )
+}
+
+/// Builds the full non-inflationary forever-query for the Theorem 5.1
+/// reduction: the datalog kernel plus the per-iteration re-sampling
+/// kernel of the pc-table `A`.
+pub fn theorem_5_1_forever_query(
+    cnf: &Cnf,
+) -> Result<(pfq_core::ForeverQuery, Database), pfq_core::CoreError> {
+    let (query, input) = theorem_5_1(cnf);
+    let mut db = input.certain().clone();
+    // A starts empty; the kernel fills it each step.
+    db.declare("A", Schema::new(["l"]));
+    let (mut fq, prepared) = query
+        .to_forever_query(&db)
+        .map_err(pfq_core::CoreError::from)?;
+    let (_, a_table) = &input.tables()[0];
+    let a_kernel = pfq_ctable::translate::pc_table_expr(a_table, input.variables())?;
+    fq.kernel.define("A", a_kernel);
+    Ok((fq, prepared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfq_core::exact_inflationary::{self, ExactBudget};
+    use pfq_core::exact_noninflationary::{self, ChainBudget};
+    use pfq_num::Ratio;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// (x1 ∨ x2 ∨ x3): 7 of 8 assignments satisfy.
+    fn easy() -> Cnf {
+        Cnf::new(3, vec![[1, 2, 3]])
+    }
+
+    #[test]
+    fn satisfaction_and_counting() {
+        let f = easy();
+        assert!(f.satisfied_by(0b001));
+        assert!(!f.satisfied_by(0b000));
+        assert_eq!(f.count_satisfying(), 7);
+        assert_eq!(Cnf::unsatisfiable().count_satisfying(), 0);
+    }
+
+    #[test]
+    fn random_satisfiable_is_satisfiable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..5 {
+            let (f, planted) = Cnf::random_satisfiable(6, 10, &mut rng);
+            assert!(f.satisfied_by(planted));
+            assert!(f.count_satisfying() > 0);
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_probability_is_count_over_2n() {
+        // The Thm 4.1 query probability equals exactly
+        // (#satisfying assignments) / 2ⁿ.
+        let f = easy();
+        let (query, input) = theorem_4_1_pc(&f);
+        assert!(query.is_linear());
+        let p = exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default()).unwrap();
+        assert_eq!(p, Ratio::new(7, 8));
+    }
+
+    #[test]
+    fn lemma_4_2_unsatisfiable_is_zero() {
+        let (query, input) = theorem_4_1_pc(&Cnf::unsatisfiable());
+        let p = exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default()).unwrap();
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn repair_key_variant_matches_pc_variant() {
+        let f = Cnf::new(3, vec![[1, -2, 3], [-1, 2, -3]]);
+        let (q_pc, in_pc) = theorem_4_1_pc(&f);
+        let (q_rk, db_rk) = theorem_4_1_repair_key(&f);
+        let p_pc = exact_inflationary::evaluate_pc(&q_pc, &in_pc, ExactBudget::default()).unwrap();
+        let p_rk = exact_inflationary::evaluate(&q_rk, &db_rk, ExactBudget::default()).unwrap();
+        assert_eq!(p_pc, p_rk);
+        assert_eq!(p_pc, Ratio::new(f.count_satisfying() as i64, 8));
+    }
+
+    #[test]
+    fn multi_clause_conjunction() {
+        // (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ ¬x2 ∨ ¬x3): 6 of 8 satisfy.
+        let f = Cnf::new(3, vec![[1, 2, 3], [-1, -2, -3]]);
+        let (query, input) = theorem_4_1_pc(&f);
+        let p = exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default()).unwrap();
+        assert_eq!(p, Ratio::new(6, 8));
+    }
+
+    #[test]
+    fn lemma_5_2_satisfiable_gives_one() {
+        // Exact structural proof that p = 1: every closed SCC of the
+        // induced chain satisfies the event, so absorption anywhere gives
+        // Done(a) forever. (Solving the full rational linear system for
+        // the same answer takes minutes; the structural check is exact
+        // and fast.)
+        let f = easy();
+        let (fq, db) = theorem_5_1_forever_query(&f).unwrap();
+        let chain = exact_noninflationary::build_chain(
+            &fq,
+            &db,
+            ChainBudget {
+                max_states: 500_000,
+                world_limit: 500_000,
+            },
+        )
+        .unwrap();
+        let cond = pfq_markov::scc::condensation(&chain);
+        let leaves = cond.leaves();
+        assert!(!leaves.is_empty());
+        for leaf in leaves {
+            for &state in &cond.components[leaf] {
+                assert!(
+                    fq.event.holds(chain.state(state)),
+                    "a closed SCC state misses Done(a): satisfiable formula must absorb into event states"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_5_2_unsat_style_zero() {
+        // A formula unsatisfiable over its clause set but small enough to
+        // evaluate: (x1∨x1… ) — our builder requires 3 distinct vars per
+        // clause, so use the full 8-clause unsatisfiable core but verify
+        // only via the inflationary reduction (the 5.1 chain over 8
+        // clauses is large); the event probability must be 0.
+        let f = Cnf::unsatisfiable();
+        let (query, input) = theorem_4_1_pc(&f);
+        let p = exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default()).unwrap();
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn reduction_database_shapes() {
+        let f = Cnf::new(4, vec![[1, -2, 3], [2, 3, -4]]);
+        let (_, input) = theorem_4_1_pc(&f);
+        assert_eq!(input.variables().len(), 4);
+        assert_eq!(input.certain().get("O").unwrap().len(), 2);
+        assert_eq!(input.certain().get("Cl").unwrap().len(), 6);
+        let (_, table) = &input.tables()[0];
+        assert_eq!(table.rows().len(), 8); // literal + negation per var
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_literal_rejected() {
+        Cnf::new(2, vec![[1, 2, 3]]);
+    }
+
+    #[test]
+    fn pinned_formula_has_exponentially_small_probability() {
+        for k in 1..=3usize {
+            let f = Cnf::pinned(k);
+            assert_eq!(f.count_satisfying(), 4, "k = {k}");
+            let (query, input) = theorem_4_1_pc(&f);
+            let p =
+                exact_inflationary::evaluate_pc(&query, &input, ExactBudget::default()).unwrap();
+            assert_eq!(p, Ratio::new(1, 1 << k));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The `.pfq` example files in the repository stay valid and produce the
+//! documented exact answers.
+
+use pfq_cli::run_file;
+use std::path::Path;
+
+fn repo_example(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+}
+
+#[test]
+fn fork_pfq_runs_with_documented_answers() {
+    let results = run_file(&repo_example("fork.pfq")).unwrap();
+    assert_eq!(results.len(), 2);
+    // Weights 1:3 toward u, so Pr[w] = 1/4 exactly.
+    assert!(
+        results[0].value.starts_with("p = 1/4"),
+        "{}",
+        results[0].value
+    );
+    assert!(results[1].value.contains("samples"), "{}", results[1].value);
+}
+
+#[test]
+fn pagerank_pfq_is_exact_and_sums_to_one() {
+    let results = run_file(&repo_example("pagerank.pfq")).unwrap();
+    assert_eq!(results.len(), 4);
+    // The three exact long-run probabilities sum to 1.
+    let mut total = pfq::num::Ratio::zero();
+    for r in &results[..3] {
+        let frac = r
+            .value
+            .strip_prefix("p = ")
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap();
+        total = total.add_ref(&pfq::num::Ratio::parse(frac).unwrap());
+    }
+    assert!(total.is_one(), "exact PageRank masses must sum to 1");
+    // Cross-check node 0 against the library's own PageRank evaluator.
+    let g = pfq::workloads::graphs::WeightedGraph {
+        n: 3,
+        edges: vec![(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 0, 1)],
+    };
+    let (q, db) = pfq::workloads::pagerank::pagerank_query(&g, pfq::num::Ratio::new(3, 20), 0, 0);
+    let expected = pfq::lang::exact_noninflationary::evaluate(
+        &q,
+        &db,
+        pfq::lang::exact_noninflationary::ChainBudget::default(),
+    )
+    .unwrap();
+    assert!(
+        results[0].value.starts_with(&format!("p = {expected}")),
+        "{} vs {expected}",
+        results[0].value
+    );
+}
+
+#[test]
+fn coloring_pfq_is_uniform() {
+    let results = run_file(&repo_example("coloring.pfq")).unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(
+        results[0].value.starts_with("p = 1/3"),
+        "{}",
+        results[0].value
+    );
+}
