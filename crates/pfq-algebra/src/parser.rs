@@ -630,19 +630,18 @@ mod tests {
                     let col = col.clone();
                     prop_oneof![
                         Just(Pred::True),
-                        (col.clone(), any::<i32>())
-                            .prop_map(|(c, v)| Pred::col_eq(c, v as i64)),
+                        (col.clone(), any::<i32>()).prop_map(|(c, v)| Pred::col_eq(c, v as i64)),
                         (col.clone(), col.clone()).prop_map(|(a, b)| Pred::cols_eq(a, b)),
                         // Proper fractions only: an integral `Ratio`
                         // displays identically to an `Int` (e.g. both
                         // print `1`), so round-tripping cannot
                         // distinguish them at the text level.
-                        (col.clone(), 2i64..50).prop_flat_map(|(c, d)| {
-                            (Just(c), 1..d, Just(d))
-                        }).prop_map(|(c, n, d)| Pred::Le(
-                            Operand::col(c),
-                            Operand::lit(Value::ratio(Ratio::new(n, d)))
-                        )),
+                        (col.clone(), 2i64..50)
+                            .prop_flat_map(|(c, d)| { (Just(c), 1..d, Just(d)) })
+                            .prop_map(|(c, n, d)| Pred::Le(
+                                Operand::col(c),
+                                Operand::lit(Value::ratio(Ratio::new(n, d)))
+                            )),
                     ]
                 };
                 prop_oneof![
@@ -653,12 +652,10 @@ mod tests {
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join(b)),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
                     (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
-                    (col.clone(), inner.clone())
-                        .prop_map(|(k, e)| e.repair_key([k], None)),
+                    (col.clone(), inner.clone()).prop_map(|(k, e)| e.repair_key([k], None)),
                     (col.clone(), col.clone(), inner.clone())
                         .prop_map(|(k, w, e)| e.repair_key([k], Some(w))),
-                    (inner.clone(), inner.clone())
-                        .prop_map(|(v, b)| v.bind("tmp", b)),
+                    (inner.clone(), inner.clone()).prop_map(|(v, b)| v.bind("tmp", b)),
                 ]
             })
         }

@@ -1,0 +1,58 @@
+//! Multi-core scaling of the shared sampling engine.
+//!
+//! Fixed total work (a fixed sample count, no early stopping) on a
+//! Table-1-style reachability workload, swept over worker-thread
+//! counts. The engine's deterministic per-trial seeding means every
+//! row computes the *same* estimate — only the wall time changes.
+//! Expect near-linear speedup: ≥2× at 4 threads on a 4-core machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfq_core::sample_inflationary;
+use pfq_core::sampler::SamplerConfig;
+use pfq_data::Database;
+use pfq_workloads::graphs::{reachability_query, WeightedGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const SAMPLES: usize = 200;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let n = 40;
+    let g = WeightedGraph::erdos_renyi(n, 0.3, &mut rng);
+    let db = Database::new().with("E", g.edge_relation());
+    let query = reachability_query(0, n as i64 - 1);
+
+    let mut group = c.benchmark_group("sampler_scaling");
+    group.sample_size(10);
+    let baseline = {
+        let config = SamplerConfig::seeded(7).with_threads(1);
+        sample_inflationary::evaluate_with_samples_config(&query, &db, SAMPLES, &config).unwrap()
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let config = SamplerConfig::seeded(7).with_threads(threads);
+        let report =
+            sample_inflationary::evaluate_with_samples_config(&query, &db, SAMPLES, &config)
+                .unwrap();
+        assert_eq!(
+            report.estimate.to_bits(),
+            baseline.estimate.to_bits(),
+            "thread count changed the estimate"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reach_n40_500_samples", threads),
+            &threads,
+            |b, &threads| {
+                let config = SamplerConfig::seeded(7).with_threads(threads);
+                b.iter(|| {
+                    sample_inflationary::evaluate_with_samples_config(&query, &db, SAMPLES, &config)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -4,10 +4,16 @@
 //!
 //! Run with `cargo run --release -p pfq-bench --bin experiments`.
 //! The output is markdown; `EXPERIMENTS.md` records a captured run.
+//!
+//! Sampling experiments run on the parallel engine; `--threads N`
+//! selects the worker count (default: all cores) and `--seed S`
+//! re-bases every experiment's RNG seed, reproducing all estimates
+//! bit for bit at any thread count.
 
 use pfq_bench::{fmt_duration, print_table, time_once};
 use pfq_core::exact_inflationary::{self, ExactBudget};
 use pfq_core::exact_noninflationary::{self, ChainBudget};
+use pfq_core::sampler::SamplerConfig;
 use pfq_core::{mixing_sampler, partition, sample_inflationary};
 use pfq_data::{tuple, Database, Relation, Schema};
 use pfq_markov::{mixing, stationary};
@@ -20,20 +26,66 @@ use pfq_workloads::sat::{theorem_4_1_pc, theorem_5_1_forever_query, Cnf};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Engine knobs shared by every sampling experiment.
+struct Knobs {
+    /// Worker threads for the sampling engine; `0` = one per core.
+    threads: usize,
+    /// Base seed; each experiment derives its own seeds from it.
+    seed: u64,
+}
+
+impl Knobs {
+    fn from_args() -> Knobs {
+        let mut knobs = Knobs {
+            threads: 0,
+            seed: 0,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} needs an unsigned integer value"))
+            };
+            match arg.as_str() {
+                "--threads" => knobs.threads = value("--threads") as usize,
+                "--seed" => knobs.seed = value("--seed"),
+                other => panic!("unknown argument {other:?} (expected --threads/--seed)"),
+            }
+        }
+        knobs
+    }
+
+    /// The sampler config of experiment `tag`'s case `case`.
+    fn config(&self, tag: u64, case: u64) -> SamplerConfig {
+        SamplerConfig::seeded(self.seed ^ (tag << 32) ^ case).with_threads(self.threads)
+    }
+}
+
 fn main() {
+    let knobs = Knobs::from_args();
     println!("# PFQ experiment harness — Table 1 reproduction\n");
     println!("(release build recommended; all probabilities cross-checked)");
+    println!(
+        "(sampling engine: {} thread(s), base seed {})",
+        if knobs.threads == 0 {
+            "all".to_string()
+        } else {
+            knobs.threads.to_string()
+        },
+        knobs.seed
+    );
     e1_exact_linear_datalog();
-    e2_absolute_approx_datalog();
+    e2_absolute_approx_datalog(&knobs);
     e3_relative_vs_absolute();
     e4_exact_inflationary();
-    e5_sampling_inflationary();
+    e5_sampling_inflationary(&knobs);
     e6_exact_noninflationary();
-    e7_mixing_time_sampling();
+    e7_mixing_time_sampling(&knobs);
     e8_partitioning();
     e9_repair_key();
     e10_pagerank();
-    e11_bayes();
+    e11_bayes(&knobs);
     e12_stationary_ablation();
     e13_optimizer_ablation();
     e14_mcmc_coloring();
@@ -70,25 +122,27 @@ fn e1_exact_linear_datalog() {
 
 /// E2 — Table 1 row 1, absolute approximation: PTIME scaling of the
 /// sampler on the same reduction.
-fn e2_absolute_approx_datalog() {
+fn e2_absolute_approx_datalog(knobs: &Knobs) {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let mut rows = Vec::new();
     for n in [8usize, 16, 32, 64] {
         let (f, _) = Cnf::random_satisfiable(n, n, &mut rng);
         let (query, input) = theorem_4_1_pc(&f);
-        let (d, est) = time_once(|| {
-            sample_inflationary::evaluate_pc(&query, &input, 0.1, 0.05, &mut rng).unwrap()
+        let config = knobs.config(2, n as u64);
+        let (d, report) = time_once(|| {
+            sample_inflationary::evaluate_pc_with_config(&query, &input, 0.1, 0.05, &config)
+                .unwrap()
         });
         rows.push(vec![
             n.to_string(),
-            est.samples.to_string(),
-            format!("{:.3}", est.estimate),
+            format!("{} / {}", report.samples, report.worst_case),
+            format!("{:.3}", report.estimate),
             fmt_duration(d),
         ]);
     }
     print_table(
         "E2 — absolute (ε=0.1, δ=0.05) approximation on the Thm 4.1 workload (expect ~linear time in n)",
-        &["vars n", "samples", "estimate", "time"],
+        &["vars n", "samples / worst case", "estimate", "time"],
         &rows,
     );
 }
@@ -208,7 +262,7 @@ fn e4_exact_inflationary() {
 
 /// E5 — Theorem 4.3: the PTIME sampler on reachability instances far
 /// beyond exact reach, plus accuracy on a small instance.
-fn e5_sampling_inflationary() {
+fn e5_sampling_inflationary(knobs: &Knobs) {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let mut rows = Vec::new();
     // Accuracy on a small instance.
@@ -218,7 +272,14 @@ fn e5_sampling_inflationary() {
     let exact = exact_inflationary::evaluate(&q_small, &db_small, ExactBudget::default())
         .unwrap()
         .to_f64();
-    let est = sample_inflationary::evaluate(&q_small, &db_small, 0.05, 0.05, &mut rng).unwrap();
+    let est = sample_inflationary::evaluate_with_config(
+        &q_small,
+        &db_small,
+        0.05,
+        0.05,
+        &knobs.config(5, 0),
+    )
+    .unwrap();
     println!(
         "\nE5 accuracy check (n=5): exact = {exact:.4}, sampled = {:.4} ({} samples, ε = 0.05)",
         est.estimate, est.samples
@@ -228,18 +289,20 @@ fn e5_sampling_inflationary() {
         let g = WeightedGraph::erdos_renyi(n, 0.3, &mut rng);
         let db = Database::new().with("E", g.edge_relation());
         let query = pfq_workloads::graphs::reachability_query(0, n as i64 - 1);
-        let (d, est) =
-            time_once(|| sample_inflationary::evaluate(&query, &db, 0.1, 0.05, &mut rng).unwrap());
+        let config = knobs.config(5, n as u64);
+        let (d, report) = time_once(|| {
+            sample_inflationary::evaluate_with_config(&query, &db, 0.1, 0.05, &config).unwrap()
+        });
         rows.push(vec![
             n.to_string(),
-            est.samples.to_string(),
-            format!("{:.3}", est.estimate),
+            format!("{} / {}", report.samples, report.worst_case),
+            format!("{:.3}", report.estimate),
             fmt_duration(d),
         ]);
     }
     print_table(
         "E5 — Thm 4.3 sampling on reachability (expect polynomial growth in n)",
-        &["nodes", "samples", "estimate", "time"],
+        &["nodes", "samples / worst case", "estimate", "time"],
         &rows,
     );
 }
@@ -285,8 +348,7 @@ fn e6_exact_noninflationary() {
 
 /// E7 — Theorem 5.6: sampling cost scales with the mixing time, not
 /// just the database size.
-fn e7_mixing_time_sampling() {
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+fn e7_mixing_time_sampling(knobs: &Knobs) {
     let mut rows = Vec::new();
     let cases: Vec<(String, WeightedGraph)> = vec![
         ("complete 8".into(), WeightedGraph::complete(8)),
@@ -294,22 +356,23 @@ fn e7_mixing_time_sampling() {
         ("dumbbell 2×4".into(), WeightedGraph::dumbbell(4)),
         ("dumbbell 2×6".into(), WeightedGraph::dumbbell(6)),
     ];
-    for (name, g) in cases {
+    for (case, (name, g)) in cases.into_iter().enumerate() {
         let (q, db) = walk_query(&g, 0, 0);
         let exact = exact_noninflationary::evaluate(&q, &db, ChainBudget::default())
             .unwrap()
             .to_f64();
         let chain = exact_noninflationary::build_chain(&q, &db, ChainBudget::default()).unwrap();
         let t = mixing::mixing_time(&chain, 0.05, 100_000).expect("ergodic workload");
-        let (d, est) = time_once(|| {
-            mixing_sampler::evaluate_with_burn_in(&q, &db, t, 0.1, 0.05, &mut rng).unwrap()
+        let config = knobs.config(7, case as u64);
+        let (d, report) = time_once(|| {
+            mixing_sampler::evaluate_with_burn_in_config(&q, &db, t, 0.1, 0.05, &config).unwrap()
         });
         rows.push(vec![
             name,
             g.n.to_string(),
             t.to_string(),
             format!("{exact:.4}"),
-            format!("{:.4}", est.estimate),
+            format!("{:.4}", report.estimate),
             fmt_duration(d),
         ]);
     }
@@ -321,7 +384,7 @@ fn e7_mixing_time_sampling() {
             "mixing time",
             "exact p",
             "estimate",
-            "time (185 samples)",
+            "time",
         ],
         &rows,
     );
@@ -469,7 +532,7 @@ fn e10_pagerank() {
 
 /// E11 — Example 3.10: Bayesian marginals, datalog vs brute force vs
 /// sampling.
-fn e11_bayes() {
+fn e11_bayes(knobs: &Knobs) {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let mut rows = Vec::new();
     for n in [4usize, 6, 8, 10] {
@@ -482,8 +545,10 @@ fn e11_bayes() {
         });
         let reference = net.marginal_reference(&[(target, true)]);
         assert_eq!(p_exact, reference);
-        let (d_sample, est) =
-            time_once(|| sample_inflationary::evaluate(&query, &db, 0.05, 0.05, &mut rng).unwrap());
+        let config = knobs.config(11, n as u64);
+        let (d_sample, est) = time_once(|| {
+            sample_inflationary::evaluate_with_config(&query, &db, 0.05, 0.05, &config).unwrap()
+        });
         assert!((est.estimate - p_exact.to_f64()).abs() < 0.05);
         rows.push(vec![
             n.to_string(),

@@ -2,10 +2,11 @@
 //! `.pfq` files.
 //!
 //! ```text
-//! pfq run <file.pfq>    evaluate every @query in the file
-//! pfq help              this message
+//! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive]
+//! pfq help
 //! ```
 
+use pfq_cli::RunOptions;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -13,8 +14,15 @@ const USAGE: &str = "\
 pfq — probabilistic fixpoint and Markov chain queries (PODS 2010)
 
 USAGE:
-    pfq run <file.pfq>    evaluate every @query directive in the file
-    pfq help              show this message
+    pfq run <file.pfq> [OPTIONS]    evaluate every @query directive in the file
+    pfq help                        show this message
+
+OPTIONS (sampling queries):
+    --threads <N>      worker threads for the sampling engine (default: all cores)
+    --seed <S>         override every query's seed; same seed ⇒ bit-identical
+                       estimates at any thread count
+    --no-adaptive      disable early stopping; always draw the full Hoeffding
+                       worst-case sample count
 
 FILE FORMAT (see the crate docs for details):
     @relation E(i, j, p) { (v, w, 1/2) (v, u, 1/2) }
@@ -30,15 +38,52 @@ FILE FORMAT (see the crate docs for details):
     @query kernel exact event C(1)
 ";
 
+/// Parses `run`'s arguments: a path plus engine options, any order.
+fn parse_run_args(args: &[String]) -> Result<(String, RunOptions), String> {
+    let mut path = None;
+    let mut options = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed value: {e}"))?,
+                );
+            }
+            "--no-adaptive" => options.no_adaptive = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let path = path.ok_or("`pfq run` needs a file argument")?;
+    Ok((path, options))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => {
-            let Some(path) = args.get(1) else {
-                eprintln!("error: `pfq run` needs a file argument\n\n{USAGE}");
-                return ExitCode::FAILURE;
+            let (path, options) = match parse_run_args(&args[1..]) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
             };
-            match pfq_cli::run_file(Path::new(path)) {
+            match pfq_cli::run_file_with_options(Path::new(&path), &options) {
                 Ok(results) => {
                     for r in results {
                         println!("{}", r.directive);
@@ -60,5 +105,32 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_args_parse() {
+        let args: Vec<String> = ["q.pfq", "--threads", "4", "--seed", "7", "--no-adaptive"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (path, options) = parse_run_args(&args).unwrap();
+        assert_eq!(path, "q.pfq");
+        assert_eq!(
+            options,
+            RunOptions {
+                threads: 4,
+                seed: Some(7),
+                no_adaptive: true
+            }
+        );
+        assert!(parse_run_args(&[]).is_err());
+        assert!(parse_run_args(&["--threads".into()]).is_err());
+        assert!(parse_run_args(&["a".into(), "b".into()]).is_err());
+        assert!(parse_run_args(&["--bogus".into()]).is_err());
     }
 }

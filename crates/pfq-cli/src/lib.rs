@@ -50,4 +50,6 @@ pub mod format;
 pub mod runner;
 
 pub use format::{parse_file, PfqFile, Query, Semantics};
-pub use runner::{run_file, run_source};
+pub use runner::{
+    run_file, run_file_with_options, run_source, run_source_with_options, RunOptions,
+};

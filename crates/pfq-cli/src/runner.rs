@@ -3,10 +3,36 @@
 use crate::format::{parse_file, PfqFile, Query, Semantics};
 use pfq_core::exact_inflationary::{self, ExactBudget};
 use pfq_core::exact_noninflationary::{self, ChainBudget};
+use pfq_core::sampler::{SampleReport, SamplerConfig};
 use pfq_core::{mixing_sampler, sample_inflationary, DatalogQuery, Event, ForeverQuery};
 use pfq_datalog::Program;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Execution options applying to every sampling query in a file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Worker threads for the sampling engine; `0` = one per core.
+    pub threads: usize,
+    /// When set, overrides the `seed …` clause of every query —
+    /// rerunning a file with the same `--seed` reproduces every
+    /// estimate bit for bit, at any thread count.
+    pub seed: Option<u64>,
+    /// Disables adaptive early stopping (always draw the full
+    /// Hoeffding worst case).
+    pub no_adaptive: bool,
+}
+
+impl RunOptions {
+    fn sampler_config(&self, query_seed: u64) -> SamplerConfig {
+        SamplerConfig {
+            seed: self.seed.unwrap_or(query_seed),
+            threads: self.threads,
+            adaptive: !self.no_adaptive,
+            ..SamplerConfig::default()
+        }
+    }
+}
 
 /// The result of one query: the directive echoed back plus the value.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,16 +43,47 @@ pub struct QueryResult {
     pub value: String,
 }
 
+/// Renders a sampling report in the CLI's result-line format. The
+/// `p ≈ <value> (…` prefix is stable; stats after it are informative.
+fn format_report(report: &SampleReport, detail: std::fmt::Arguments<'_>) -> String {
+    let early = if report.stopped_early {
+        format!(", stopped early of {}", report.worst_case)
+    } else {
+        String::new()
+    };
+    format!(
+        "p ≈ {:.6} ({} samples, {detail}{early}; {:.1} ms on {} thread{})",
+        report.estimate,
+        report.samples,
+        report.wall.as_secs_f64() * 1e3,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+    )
+}
+
 /// Runs every query of a parsed file; results come back in file order.
 pub fn run(file: &PfqFile) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    run_with_options(file, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution options (threads, seed override,
+/// adaptive stopping).
+pub fn run_with_options(
+    file: &PfqFile,
+    options: &RunOptions,
+) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
     let mut out = Vec::new();
     for query in &file.queries {
-        out.push(run_query(file, query)?);
+        out.push(run_query(file, query, options)?);
     }
     Ok(out)
 }
 
-fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::error::Error>> {
+fn run_query(
+    file: &PfqFile,
+    query: &Query,
+    options: &RunOptions,
+) -> Result<QueryResult, Box<dyn std::error::Error>> {
     let event = Event::tuple_in(query.relation.clone(), query.tuple.clone());
     let program = |what: &str| -> Result<&Program, String> {
         file.program
@@ -53,13 +110,15 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
             seed,
         } => {
             program("inflationary")?;
-            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
-            let est =
-                sample_inflationary::evaluate(&dq, &file.database, *epsilon, *delta, &mut rng)?;
-            format!(
-                "p ≈ {:.6} ({} samples, ε = {epsilon}, δ = {delta})",
-                est.estimate, est.samples
-            )
+            let config = options.sampler_config(*seed);
+            let report = sample_inflationary::evaluate_with_config(
+                &dq,
+                &file.database,
+                *epsilon,
+                *delta,
+                &config,
+            )?;
+            format_report(&report, format_args!("ε = {epsilon}, δ = {delta}"))
         }
         Semantics::NoninflationaryExact => {
             program("noninflationary")?;
@@ -70,7 +129,7 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
         Semantics::TimeAverage { steps, seed } => {
             program("noninflationary")?;
             let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(options.seed.unwrap_or(*seed));
             let avg = mixing_sampler::evaluate_time_average(&fq, &prepared, *steps, &mut rng)?;
             format!("p ≈ {avg:.6} (time average over {steps} steps)")
         }
@@ -82,13 +141,13 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
         } => {
             program("noninflationary")?;
             let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
-            let est = mixing_sampler::evaluate_with_burn_in(
-                &fq, &prepared, *burn_in, *epsilon, *delta, &mut rng,
+            let config = options.sampler_config(*seed);
+            let report = mixing_sampler::evaluate_with_burn_in_config(
+                &fq, &prepared, *burn_in, *epsilon, *delta, &config,
             )?;
-            format!(
-                "p ≈ {:.6} ({} samples, burn-in {burn_in}, ε = {epsilon}, δ = {delta})",
-                est.estimate, est.samples
+            format_report(
+                &report,
+                format_args!("burn-in {burn_in}, ε = {epsilon}, δ = {delta}"),
             )
         }
         Semantics::KernelExact => {
@@ -98,7 +157,7 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
         }
         Semantics::KernelTimeAverage { steps, seed } => {
             let fq = kernel_query("kernel")?;
-            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(options.seed.unwrap_or(*seed));
             let avg = mixing_sampler::evaluate_time_average(&fq, &file.database, *steps, &mut rng)?;
             format!("p ≈ {avg:.6} (time average over {steps} steps)")
         }
@@ -109,18 +168,18 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
             seed,
         } => {
             let fq = kernel_query("kernel")?;
-            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
-            let est = mixing_sampler::evaluate_with_burn_in(
+            let config = options.sampler_config(*seed);
+            let report = mixing_sampler::evaluate_with_burn_in_config(
                 &fq,
                 &file.database,
                 *burn_in,
                 *epsilon,
                 *delta,
-                &mut rng,
+                &config,
             )?;
-            format!(
-                "p ≈ {:.6} ({} samples, burn-in {burn_in}, ε = {epsilon}, δ = {delta})",
-                est.estimate, est.samples
+            format_report(
+                &report,
+                format_args!("burn-in {burn_in}, ε = {epsilon}, δ = {delta}"),
             )
         }
     };
@@ -132,15 +191,31 @@ fn run_query(file: &PfqFile, query: &Query) -> Result<QueryResult, Box<dyn std::
 
 /// Parses and runs a `.pfq` source string.
 pub fn run_source(src: &str) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    run_source_with_options(src, &RunOptions::default())
+}
+
+/// [`run_source`] with explicit execution options.
+pub fn run_source_with_options(
+    src: &str,
+    options: &RunOptions,
+) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
     let file = parse_file(src)?;
-    run(&file)
+    run_with_options(&file, options)
 }
 
 /// Parses and runs a `.pfq` file from disk.
 pub fn run_file(path: &std::path::Path) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    run_file_with_options(path, &RunOptions::default())
+}
+
+/// [`run_file`] with explicit execution options.
+pub fn run_file_with_options(
+    path: &std::path::Path,
+    options: &RunOptions,
+) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    run_source(&src)
+    run_source_with_options(&src, options)
 }
 
 #[cfg(test)]
@@ -297,6 +372,40 @@ mod tests {
         )
         .is_err());
         assert!(run_source("no directives").is_err());
+    }
+
+    #[test]
+    fn options_reproduce_estimates_across_thread_counts() {
+        let one = RunOptions {
+            threads: 1,
+            seed: Some(99),
+            no_adaptive: false,
+        };
+        let four = RunOptions {
+            threads: 4,
+            ..one.clone()
+        };
+        let a = run_source_with_options(FORK, &one).unwrap();
+        let b = run_source_with_options(FORK, &four).unwrap();
+        // The sampled line is identical up to the wall-time stat.
+        let head = |v: &str| v.split(';').next().unwrap().to_string();
+        assert_eq!(head(&a[1].value), head(&b[1].value), "\n{a:?}\n{b:?}");
+    }
+
+    #[test]
+    fn no_adaptive_draws_full_hoeffding_count() {
+        let options = RunOptions {
+            no_adaptive: true,
+            ..RunOptions::default()
+        };
+        let results = run_source_with_options(FORK, &options).unwrap();
+        // ε = δ = 0.05 → m = ⌈ln(40)/0.005⌉ = 738 samples, never fewer.
+        assert!(
+            results[1].value.contains("738 samples"),
+            "{}",
+            results[1].value
+        );
+        assert!(!results[1].value.contains("stopped early"));
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! | Prop. 5.4 / Thm. 5.5 exact non-inflationary evaluation | [`exact_noninflationary`] |
 //! | Thm. 5.6 mixing-time sampling | [`mixing_sampler`] |
 //! | §5.1 provenance partitioning | [`partition`] |
+//!
+//! Both sampling evaluators run on the shared parallel engine in
+//! [`sampler`], which provides deterministic per-trial RNG streams
+//! (same seed ⇒ bit-identical estimates at any thread count) and
+//! adaptive early stopping under the `(ε, δ)` guarantee.
 
 pub mod error;
 pub mod event;
@@ -26,6 +31,7 @@ pub mod mixing_sampler;
 pub mod partition;
 pub mod query;
 pub mod sample_inflationary;
+pub mod sampler;
 
 pub use error::CoreError;
 pub use event::Event;

@@ -14,14 +14,48 @@
 
 use crate::exact_noninflationary::{build_chain, ChainBudget};
 use crate::sample_inflationary::{hoeffding_sample_count, SampleEstimate};
+use crate::sampler::{self, SampleReport, SamplerConfig};
 use crate::{CoreError, ForeverQuery};
 use pfq_data::Database;
 use pfq_markov::mixing::mixing_time;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One restart-sampling trial: walk `burn_in` kernel steps from `db`,
+/// then observe the event.
+fn trial(
+    query: &ForeverQuery,
+    db: &Database,
+    burn_in: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<bool, CoreError> {
+    let mut state = db.clone();
+    for _ in 0..burn_in {
+        state = query.kernel.sample_step(&state, rng)?;
+    }
+    Ok(query.event.holds(&state))
+}
+
+/// Theorem 5.6 restart sampling with full control of the parallel
+/// engine: may stop before the Hoeffding worst case when
+/// `config.adaptive` is set.
+pub fn evaluate_with_burn_in_config(
+    query: &ForeverQuery,
+    db: &Database,
+    burn_in: usize,
+    epsilon: f64,
+    delta: f64,
+    config: &SamplerConfig,
+) -> Result<SampleReport, CoreError> {
+    sampler::run(config, epsilon, delta, |rng| trial(query, db, burn_in, rng))
+}
 
 /// Estimates the query probability by restart sampling: each of the `m`
 /// samples walks `burn_in` kernel steps from `db` and observes the event
 /// (the Theorem 5.6 procedure with `burn_in` standing in for `T(q, D)`).
+/// Thin wrapper over the parallel engine that always draws the full
+/// Hoeffding sample count (use [`evaluate_with_burn_in_config`] for
+/// early stopping and execution stats).
 pub fn evaluate_with_burn_in<R: Rng + ?Sized>(
     query: &ForeverQuery,
     db: &Database,
@@ -31,20 +65,9 @@ pub fn evaluate_with_burn_in<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
     let m = hoeffding_sample_count(epsilon, delta)?;
-    let mut hits = 0usize;
-    for _ in 0..m {
-        let mut state = db.clone();
-        for _ in 0..burn_in {
-            state = query.kernel.sample_step(&state, rng)?;
-        }
-        if query.event.holds(&state) {
-            hits += 1;
-        }
-    }
-    Ok(SampleEstimate {
-        estimate: hits as f64 / m as f64,
-        samples: m,
-    })
+    let config = SamplerConfig::seeded(rng.gen());
+    let report = sampler::run_fixed(&config, m, |rng| trial(query, db, burn_in, rng))?;
+    Ok(report.into())
 }
 
 /// Estimates the query probability from a *single* long walk's time
@@ -138,6 +161,21 @@ mod tests {
             "estimate {} vs exact {exact}",
             est.estimate
         );
+    }
+
+    #[test]
+    fn config_runs_are_deterministic_across_threads() {
+        let (q, db) = lazy_walk(2);
+        let base = SamplerConfig::seeded(21);
+        let one =
+            evaluate_with_burn_in_config(&q, &db, 30, 0.1, 0.05, &base.clone().with_threads(1))
+                .unwrap();
+        let four =
+            evaluate_with_burn_in_config(&q, &db, 30, 0.1, 0.05, &base.clone().with_threads(4))
+                .unwrap();
+        assert_eq!(one.estimate.to_bits(), four.estimate.to_bits());
+        assert_eq!(one.samples, four.samples);
+        assert_eq!(one.hits, four.hits);
     }
 
     #[test]

@@ -7,12 +7,20 @@
 //! `m ≥ ln(2/δ)/(2ε²)` by the (additive) Chernoff–Hoeffding bound, so
 //! `Pr(|p̂ − p| ≤ ε) ≥ 1 − δ`. The cost of a sample is polynomial in the
 //! database size, making the whole algorithm PTIME data complexity.
+//!
+//! Samples are drawn on the shared parallel engine in [`crate::sampler`].
+//! The `*_with_config` entry points expose its knobs (seed, threads,
+//! adaptive early stopping) and return the full [`SampleReport`]; the
+//! classic `rng`-taking entry points below are thin deterministic
+//! wrappers that always draw the full Hoeffding sample count.
 
+use crate::sampler::{self, SampleReport, SamplerConfig};
 use crate::{CoreError, DatalogQuery};
 use pfq_ctable::PcDatabase;
 use pfq_data::Database;
 use pfq_datalog::inflationary::sample_fixpoint;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 
 /// Defensive cap on inflationary steps per sample; the semantics
 /// guarantees termination long before this for any sane database.
@@ -43,31 +51,86 @@ pub struct SampleEstimate {
     pub samples: usize,
 }
 
+impl From<SampleReport> for SampleEstimate {
+    fn from(report: SampleReport) -> Self {
+        SampleEstimate {
+            estimate: report.estimate,
+            samples: report.samples,
+        }
+    }
+}
+
+/// One Theorem 4.3 trial over a certain input: a random computation
+/// path to its fixpoint, then the event test.
+fn trial(query: &DatalogQuery, db: &Database, rng: &mut ChaCha8Rng) -> Result<bool, CoreError> {
+    let fixpoint = sample_fixpoint(&query.program, db, rng, MAX_STEPS_PER_SAMPLE)?;
+    Ok(query.event.holds(&fixpoint))
+}
+
+/// One Theorem 4.3 trial over a pc-table input: first draw one world
+/// (the “probabilistic choices … take place only once, at the
+/// beginning”, §3.2), then proceed as over a certain input.
+fn trial_pc(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    rng: &mut ChaCha8Rng,
+) -> Result<bool, CoreError> {
+    let world = input.sample_world(rng)?;
+    let fixpoint = sample_fixpoint(&query.program, &world, rng, MAX_STEPS_PER_SAMPLE)?;
+    Ok(query.event.holds(&fixpoint))
+}
+
+/// Theorem 4.3 over a certain input, with full control of the engine:
+/// `(ε, δ)`-approximation that may stop before the Hoeffding worst
+/// case when `config.adaptive` is set.
+pub fn evaluate_with_config(
+    query: &DatalogQuery,
+    db: &Database,
+    epsilon: f64,
+    delta: f64,
+    config: &SamplerConfig,
+) -> Result<SampleReport, CoreError> {
+    sampler::run(config, epsilon, delta, |rng| trial(query, db, rng))
+}
+
+/// Theorem 4.3 over a pc-table input, with full control of the engine.
+pub fn evaluate_pc_with_config(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    epsilon: f64,
+    delta: f64,
+    config: &SamplerConfig,
+) -> Result<SampleReport, CoreError> {
+    sampler::run(config, epsilon, delta, |rng| trial_pc(query, input, rng))
+}
+
+/// An explicit-sample-count run over a certain input, with full
+/// control of the engine (never stops early).
+pub fn evaluate_with_samples_config(
+    query: &DatalogQuery,
+    db: &Database,
+    samples: usize,
+    config: &SamplerConfig,
+) -> Result<SampleReport, CoreError> {
+    sampler::run_fixed(config, samples, |rng| trial(query, db, rng))
+}
+
 /// Estimates the query probability over a certain input database with an
-/// explicit sample count.
+/// explicit sample count. Thin wrapper: draws a root seed from `rng`
+/// and runs the parallel engine.
 pub fn evaluate_with_samples<R: Rng + ?Sized>(
     query: &DatalogQuery,
     db: &Database,
     samples: usize,
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
-    if samples == 0 {
-        return Err(CoreError::BadParameter("samples must be positive".into()));
-    }
-    let mut hits = 0usize;
-    for _ in 0..samples {
-        let fixpoint = sample_fixpoint(&query.program, db, rng, MAX_STEPS_PER_SAMPLE)?;
-        if query.event.holds(&fixpoint) {
-            hits += 1;
-        }
-    }
-    Ok(SampleEstimate {
-        estimate: hits as f64 / samples as f64,
-        samples,
-    })
+    let config = SamplerConfig::seeded(rng.gen());
+    Ok(evaluate_with_samples_config(query, db, samples, &config)?.into())
 }
 
 /// Theorem 4.3 over a certain input: absolute `(ε, δ)`-approximation.
+/// Thin wrapper over the engine that always draws the full Hoeffding
+/// sample count (use [`evaluate_with_config`] for early stopping).
 pub fn evaluate<R: Rng + ?Sized>(
     query: &DatalogQuery,
     db: &Database,
@@ -79,10 +142,8 @@ pub fn evaluate<R: Rng + ?Sized>(
     evaluate_with_samples(query, db, m, rng)
 }
 
-/// Theorem 4.3 over a probabilistic c-table input: each sample first
-/// draws one value per independent variable (the “probabilistic choices
-/// … take place only once, at the beginning”, §3.2), then runs the
-/// inflationary engine on the resulting world.
+/// Theorem 4.3 over a probabilistic c-table input. Thin wrapper over
+/// the engine, always drawing the full Hoeffding sample count.
 pub fn evaluate_pc<R: Rng + ?Sized>(
     query: &DatalogQuery,
     input: &PcDatabase,
@@ -91,18 +152,9 @@ pub fn evaluate_pc<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
     let m = hoeffding_sample_count(epsilon, delta)?;
-    let mut hits = 0usize;
-    for _ in 0..m {
-        let world = input.sample_world(rng)?;
-        let fixpoint = sample_fixpoint(&query.program, &world, rng, MAX_STEPS_PER_SAMPLE)?;
-        if query.event.holds(&fixpoint) {
-            hits += 1;
-        }
-    }
-    Ok(SampleEstimate {
-        estimate: hits as f64 / m as f64,
-        samples: m,
-    })
+    let config = SamplerConfig::seeded(rng.gen());
+    let report = sampler::run_fixed(&config, m, |rng| trial_pc(query, input, rng))?;
+    Ok(report.into())
 }
 
 #[cfg(test)]
@@ -113,7 +165,6 @@ mod tests {
     use pfq_ctable::{Condition, PcTable, RandomVariable};
     use pfq_data::{tuple, Relation, Schema, Value};
     use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     fn reach_query(target: &str) -> DatalogQuery {
         DatalogQuery::parse(
@@ -164,6 +215,16 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_config_run_matches_exact_with_fewer_samples() {
+        let query = reach_query("v"); // deterministically true
+        let config = SamplerConfig::seeded(11);
+        let report = evaluate_with_config(&query, &fork_db(), 0.05, 0.05, &config).unwrap();
+        assert_eq!(report.estimate, 1.0);
+        assert!(report.stopped_early, "{report:?}");
+        assert!(report.samples < report.worst_case);
+    }
+
+    #[test]
     fn deterministic_events_hit_zero_or_one() {
         let query = reach_query("v");
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -192,6 +253,13 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let est = evaluate_pc(&query, &input, 0.05, 0.05, &mut rng).unwrap();
         assert!((est.estimate - exact).abs() < 0.05);
+        // Same inputs, same seed, through the config API: identical.
+        let config = SamplerConfig::seeded(42).with_adaptive(false);
+        let a = evaluate_pc_with_config(&query, &input, 0.05, 0.05, &config).unwrap();
+        let b = evaluate_pc_with_config(&query, &input, 0.05, 0.05, &config).unwrap();
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.samples, b.samples);
     }
 
     #[test]

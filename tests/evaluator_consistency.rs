@@ -6,8 +6,9 @@ use pfq::ctable::{translate, Condition, PcDatabase, PcTable, RandomVariable};
 use pfq::data::{tuple, Database, Relation, Schema};
 use pfq::lang::exact_inflationary::{self, ExactBudget};
 use pfq::lang::exact_noninflationary::{self, ChainBudget};
+use pfq::lang::sampler::SamplerConfig;
 use pfq::lang::{mixing_sampler, partition, sample_inflationary, DatalogQuery, Event};
-use pfq::markov::{stationary, MarkovChain};
+use pfq::markov::{mixing, stationary, MarkovChain};
 use pfq::num::{Distribution, Ratio};
 use pfq::workloads::graphs::{walk_query, WeightedGraph};
 use rand::SeedableRng;
@@ -184,6 +185,138 @@ fn deterministic_program_three_way_agreement() {
     assert!(p.is_one());
     assert_eq!(only.get("T"), classic.get("T"));
     assert_eq!(only.get("T").unwrap().len(), 6);
+}
+
+// --- Differential harness: the parallel sampler vs exact answers ---
+//
+// Every workload generator with a tractable exact answer is evaluated
+// both ways under a fixed seed: the exact evaluator gives the ground
+// truth, the parallel engine (4 workers) must land within ε of it.
+// Fixed seeds keep these checks deterministic — each is one draw from
+// a distribution in which failure has probability at most δ.
+
+/// The engine configuration every differential check runs under.
+fn differential_config(seed: u64) -> SamplerConfig {
+    SamplerConfig::seeded(seed).with_threads(4)
+}
+
+#[track_caller]
+fn assert_within(name: &str, sampled: f64, exact: f64, epsilon: f64) {
+    assert!(
+        (sampled - exact).abs() <= epsilon,
+        "{name}: sampled {sampled} vs exact {exact} (ε = {epsilon})"
+    );
+}
+
+/// Graph reachability (Example 3.9): exact computation-tree traversal
+/// vs the Theorem 4.3 parallel sampler, over random and structured
+/// graphs.
+#[test]
+fn differential_graph_reachability() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let mut cases: Vec<(String, WeightedGraph)> = vec![
+        ("cycle 5".into(), WeightedGraph::cycle(5)),
+        ("dumbbell 2×3".into(), WeightedGraph::dumbbell(3)),
+    ];
+    for i in 0..3u64 {
+        cases.push((
+            format!("erdos_renyi 6 #{i}"),
+            WeightedGraph::erdos_renyi(6, 0.5, &mut rng),
+        ));
+    }
+    for (seed, (name, g)) in cases.into_iter().enumerate() {
+        let db = Database::new().with("E", g.edge_relation());
+        let query = pfq::workloads::graphs::reachability_query(0, g.n as i64 - 1);
+        let exact = exact_inflationary::evaluate(&query, &db, ExactBudget::default())
+            .unwrap()
+            .to_f64();
+        let config = differential_config(40 + seed as u64);
+        let report =
+            sample_inflationary::evaluate_with_config(&query, &db, 0.05, 0.05, &config).unwrap();
+        assert_within(&name, report.estimate, exact, 0.05);
+        assert!(report.samples <= report.worst_case);
+    }
+}
+
+/// Glauber-coloring MCMC: exact long-run marginals (Theorem 5.5 route)
+/// vs the Theorem 5.6 parallel burn-in sampler.
+#[test]
+fn differential_coloring_mcmc() {
+    use pfq::workloads::coloring::ColoringMcmc;
+    let cases = vec![
+        (
+            "triangle q=4",
+            ColoringMcmc::new(3, vec![(0, 1), (0, 2), (1, 2)], 4),
+        ),
+        (
+            "4-cycle q=3",
+            ColoringMcmc::new(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)], 3),
+        ),
+    ];
+    for (seed, (name, g)) in cases.into_iter().enumerate() {
+        let (query, db) = g.color_query(0, 0);
+        let exact = exact_noninflationary::evaluate(&query, &db, ChainBudget::default())
+            .unwrap()
+            .to_f64();
+        let chain =
+            exact_noninflationary::build_chain(&query, &db, ChainBudget::default()).unwrap();
+        let burn_in = mixing::mixing_time(&chain, 0.01, 100_000).expect("Glauber chain mixes");
+        let config = differential_config(50 + seed as u64);
+        let report =
+            mixing_sampler::evaluate_with_burn_in_config(&query, &db, burn_in, 0.08, 0.05, &config)
+                .unwrap();
+        assert_within(name, report.estimate, exact, 0.08 + 2.0 * 0.01);
+    }
+}
+
+/// Birth–death queue: closed-form stationary probabilities (and the
+/// exact chain route, asserted equal) vs the parallel burn-in sampler.
+#[test]
+fn differential_queue_lengths() {
+    use pfq::workloads::queue::BirthDeathQueue;
+    let queue = BirthDeathQueue::new(3, 2, 3, 2);
+    let reference = queue.stationary_reference();
+    for k in 0..=3i64 {
+        let (query, db) = queue.length_query(0, k);
+        let exact = exact_noninflationary::evaluate(&query, &db, ChainBudget::default()).unwrap();
+        assert_eq!(exact, reference[k as usize], "closed form, length {k}");
+        let chain =
+            exact_noninflationary::build_chain(&query, &db, ChainBudget::default()).unwrap();
+        let burn_in = mixing::mixing_time(&chain, 0.01, 100_000).expect("lazy queue chain mixes");
+        let config = differential_config(60 + k as u64);
+        let report =
+            mixing_sampler::evaluate_with_burn_in_config(&query, &db, burn_in, 0.08, 0.05, &config)
+                .unwrap();
+        assert_within(
+            &format!("queue length {k}"),
+            report.estimate,
+            exact.to_f64(),
+            0.08 + 2.0 * 0.01,
+        );
+    }
+}
+
+/// pc-table input (the Theorem 4.1 reduction): the model-counting
+/// exact answer `#SAT/2ⁿ` vs the parallel pc-table sampler.
+#[test]
+fn differential_pc_table_sat() {
+    use pfq::workloads::sat::{theorem_4_1_pc, Cnf};
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    for case in 0..3u64 {
+        let f = Cnf::random(5, 4, &mut rng);
+        let (query, input) = theorem_4_1_pc(&f);
+        let exact = f.count_satisfying() as f64 / 32.0;
+        let config = differential_config(70 + case);
+        let report =
+            sample_inflationary::evaluate_pc_with_config(&query, &input, 0.05, 0.05, &config)
+                .unwrap();
+        assert_within(&format!("cnf #{case}"), report.estimate, exact, 0.05);
+        // The same run is bit-reproducible.
+        let again =
+            sample_inflationary::evaluate_pc_with_config(&query, &input, 0.05, 0.05, &config)
+                .unwrap();
+        assert_eq!(report.estimate.to_bits(), again.estimate.to_bits());
+    }
 }
 
 /// Explicitly built chains round-trip through the generic Markov layer:

@@ -1,0 +1,294 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace benches
+//! use — groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `measurement_time` — over a simple
+//! median-of-samples wall-clock harness. No statistical regression
+//! analysis, plots, or baselines: each benchmark prints one line
+//!
+//! ```text
+//! group/id                time: [median 123.4 µs over 10 samples]
+//! ```
+//!
+//! which is enough to eyeball scaling claims (the only use benches in
+//! this repo make of criterion).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; anything else non-flag is a
+        // name filter, like criterion proper.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            parent: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let id = id.to_string();
+        if self.skipped(&id) {
+            return;
+        }
+        run_benchmark(&id, self.sample_size, self.measurement_time, |b| f(b));
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    parent: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.skipped(&full) {
+            return;
+        }
+        run_benchmark(&full, self.sample_size, self.measurement_time, |b| f(b));
+    }
+
+    /// Benchmarks a closure that receives `input`, under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.parent.skipped(&full) {
+            run_benchmark(&full, self.sample_size, self.measurement_time, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Ends the group (a no-op here; criterion compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, mut f: F) {
+    // Calibration: run once to estimate cost, then choose an
+    // iteration count so `samples` samples fit the time budget.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let once = bench.elapsed.max(Duration::from_nanos(1));
+    let per_sample = budget.div_f64(samples as f64);
+    let iters = (per_sample.as_secs_f64() / once.as_secs_f64())
+        .clamp(1.0, 1_000_000.0)
+        .round() as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bench = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench);
+        times.push(bench.elapsed / iters as u32);
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{id:<50} time: [{} {} {}] ({samples} samples × {iters} iters)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+    );
+}
+
+fn fmt_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.bench_function("noop", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("id", 1), &1u64, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_time(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_time(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_time(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Test-runner support types: configuration, failure values, and the
+//! deterministic RNG handed to strategies.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default; override per-block with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]` or
+        // globally with the PROPTEST_CASES environment variable.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The input was rejected (e.g. by a filter); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The outcome of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG strategies draw from: deterministic per test so failures
+/// reproduce run over run.
+#[derive(Clone, Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// An RNG seeded from the test's name (and, if set, the
+    /// `PROPTEST_SEED` environment variable), so each property gets
+    /// its own reproducible stream.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, folded with the optional env seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.parse::<u64>() {
+                hash ^= seed.rotate_left(32);
+            }
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(hash))
+    }
+
+    /// An RNG from an explicit seed.
+    pub fn from_seed_u64(seed: u64) -> TestRng {
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_rngs_differ_and_reproduce() {
+        let mut a1 = TestRng::for_test("a");
+        let mut a2 = TestRng::for_test("a");
+        let mut b = TestRng::for_test("b");
+        let x1 = a1.next_u64();
+        assert_eq!(x1, a2.next_u64());
+        assert_ne!(x1, b.next_u64());
+    }
+
+    #[test]
+    fn config_with_cases() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}
