@@ -1,0 +1,92 @@
+//! Memoization benchmark: repeated exact queries over the Theorem 4.1
+//! 3-SAT pc-table, one shared [`EvalCache`] vs the cache-disabled
+//! legacy path, at asserted-identical `Ratio` answers.
+//!
+//! The workload mirrors how the CLI runs a `.pfq` file: several `@query`
+//! directives over one program and one input. With the cache on, every
+//! possible world after the first query's pass is served from the
+//! whole-tree result memo; disabled, each query re-traverses every
+//! computation tree of every world.
+//!
+//! Run with `cargo bench -p pfq-bench --bench memoization`; pass
+//! `-- --smoke` for the tiny CI configuration.
+
+use pfq_bench::{fmt_duration, print_table, time_median};
+use pfq_core::exact_inflationary::{self, ExactBudget};
+use pfq_core::{CacheConfig, DatalogQuery, EvalCache, Event};
+use pfq_data::tuple;
+use pfq_num::Ratio;
+use pfq_workloads::sat::{theorem_4_1_pc, Cnf};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, m, runs) = if smoke { (4, 4, 1) } else { (6, 6, 3) };
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let (f, _) = Cnf::random_satisfiable(n, m, &mut rng);
+    let (base, input) = theorem_4_1_pc(&f);
+
+    // The query set: the base `Done(a)` event plus one reachability
+    // event per clause stage — same program, same pc-table, different
+    // events, exactly like a multi-query `.pfq` file.
+    let mut queries = vec![base.clone()];
+    for k in 1..=m as i64 {
+        queries.push(DatalogQuery::new(
+            base.program.clone(),
+            Event::tuple_in("R", tuple![k]),
+        ));
+    }
+
+    let run = |enabled: bool| -> Vec<Ratio> {
+        let config = if enabled {
+            CacheConfig::default()
+        } else {
+            CacheConfig::disabled()
+        };
+        let mut cache = EvalCache::new(config);
+        queries
+            .iter()
+            .map(|q| {
+                exact_inflationary::evaluate_pc_with_cache(
+                    q,
+                    &input,
+                    ExactBudget::default(),
+                    &mut cache,
+                )
+                .unwrap()
+            })
+            .collect()
+    };
+
+    // Fixed correctness first: both paths must agree bit for bit.
+    let memoized = run(true);
+    let legacy = run(false);
+    assert_eq!(memoized, legacy, "memoized and legacy answers diverged");
+
+    let t_on = time_median(runs, || run(true));
+    let t_off = time_median(runs, || run(false));
+    let speedup = t_off.as_secs_f64() / t_on.as_secs_f64();
+    print_table(
+        &format!(
+            "Memoized vs legacy exact pc-table evaluation \
+             (3-SAT n={n}, m={m}, {} queries)",
+            queries.len()
+        ),
+        &["path", "median wall-clock", "speedup"],
+        &[
+            vec!["cache disabled".into(), fmt_duration(t_off), "1.0×".into()],
+            vec![
+                "shared cache".into(),
+                fmt_duration(t_on),
+                format!("{speedup:.1}×"),
+            ],
+        ],
+    );
+    if !smoke {
+        assert!(
+            speedup >= 2.0,
+            "expected ≥2× speedup from the shared cache, measured {speedup:.2}×"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! `.pfq` files.
 //!
 //! ```text
-//! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive]
+//! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive] [--stats]
 //! pfq help
 //! ```
 
@@ -23,6 +23,11 @@ OPTIONS (sampling queries):
                        estimates at any thread count
     --no-adaptive      disable early stopping; always draw the full Hoeffding
                        worst-case sample count
+
+OPTIONS (exact queries):
+    --stats            print evaluation-cache statistics after each query
+                       (states interned, memo hits/misses, estimated bytes);
+                       one cache is shared by every exact query in the file
 
 FILE FORMAT (see the crate docs for details):
     @relation E(i, j, p) { (v, w, 1/2) (v, u, 1/2) }
@@ -63,6 +68,7 @@ fn parse_run_args(args: &[String]) -> Result<(String, RunOptions), String> {
                 );
             }
             "--no-adaptive" => options.no_adaptive = true,
+            "--stats" => options.stats = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             p if path.is_none() => path = Some(p.to_string()),
             extra => return Err(format!("unexpected argument {extra:?}")),
@@ -85,10 +91,7 @@ fn main() -> ExitCode {
             };
             match pfq_cli::run_file_with_options(Path::new(&path), &options) {
                 Ok(results) => {
-                    for r in results {
-                        println!("{}", r.directive);
-                        println!("  {}", r.value);
-                    }
+                    print!("{}", pfq_cli::render_results(&results));
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -114,10 +117,18 @@ mod tests {
 
     #[test]
     fn run_args_parse() {
-        let args: Vec<String> = ["q.pfq", "--threads", "4", "--seed", "7", "--no-adaptive"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "q.pfq",
+            "--threads",
+            "4",
+            "--seed",
+            "7",
+            "--no-adaptive",
+            "--stats",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let (path, options) = parse_run_args(&args).unwrap();
         assert_eq!(path, "q.pfq");
         assert_eq!(
@@ -125,7 +136,8 @@ mod tests {
             RunOptions {
                 threads: 4,
                 seed: Some(7),
-                no_adaptive: true
+                no_adaptive: true,
+                stats: true,
             }
         );
         assert!(parse_run_args(&[]).is_err());

@@ -51,5 +51,6 @@ pub mod runner;
 
 pub use format::{parse_file, PfqFile, Query, Semantics};
 pub use runner::{
-    run_file, run_file_with_options, run_source, run_source_with_options, RunOptions,
+    render_results, run_file, run_file_with_options, run_source, run_source_with_options,
+    QueryResult, RunOptions,
 };

@@ -4,7 +4,7 @@ use crate::format::{parse_file, PfqFile, Query, Semantics};
 use pfq_core::exact_inflationary::{self, ExactBudget};
 use pfq_core::exact_noninflationary::{self, ChainBudget};
 use pfq_core::sampler::{SampleReport, SamplerConfig};
-use pfq_core::{mixing_sampler, sample_inflationary, DatalogQuery, Event, ForeverQuery};
+use pfq_core::{mixing_sampler, sample_inflationary, DatalogQuery, EvalCache, Event, ForeverQuery};
 use pfq_datalog::Program;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -21,6 +21,10 @@ pub struct RunOptions {
     /// Disables adaptive early stopping (always draw the full
     /// Hoeffding worst case).
     pub no_adaptive: bool,
+    /// Report evaluation-cache statistics after each query. The stats
+    /// are cumulative over the file: one cache is shared by every exact
+    /// query, so later queries show the reuse earlier ones seeded.
+    pub stats: bool,
 }
 
 impl RunOptions {
@@ -41,6 +45,29 @@ pub struct QueryResult {
     pub directive: String,
     /// A human-readable result line.
     pub value: String,
+    /// Cumulative cache statistics after this query (with
+    /// [`RunOptions::stats`]); deterministic — no wall times.
+    pub stats: Option<String>,
+}
+
+/// Renders results in the CLI's output format: each directive echoed
+/// back, the indented result line, and (under `--stats`) an indented
+/// `cache:` line.
+pub fn render_results(results: &[QueryResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.directive);
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(&r.value);
+        out.push('\n');
+        if let Some(stats) = &r.stats {
+            out.push_str("  cache: ");
+            out.push_str(stats);
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// Renders a sampling report in the CLI's result-line format. The
@@ -72,9 +99,12 @@ pub fn run_with_options(
     file: &PfqFile,
     options: &RunOptions,
 ) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
+    // One cache for the whole file: exact queries share interned states
+    // and memoized transition rows across directives.
+    let mut cache = EvalCache::default();
     let mut out = Vec::new();
     for query in &file.queries {
-        out.push(run_query(file, query, options)?);
+        out.push(run_query(file, query, options, &mut cache)?);
     }
     Ok(out)
 }
@@ -83,6 +113,7 @@ fn run_query(
     file: &PfqFile,
     query: &Query,
     options: &RunOptions,
+    cache: &mut EvalCache,
 ) -> Result<QueryResult, Box<dyn std::error::Error>> {
     let event = Event::tuple_in(query.relation.clone(), query.tuple.clone());
     let program = |what: &str| -> Result<&Program, String> {
@@ -101,7 +132,12 @@ fn run_query(
     let value = match &query.semantics {
         Semantics::InflationaryExact => {
             program("inflationary")?;
-            let p = exact_inflationary::evaluate(&dq, &file.database, ExactBudget::default())?;
+            let p = exact_inflationary::evaluate_with_cache(
+                &dq,
+                &file.database,
+                ExactBudget::default(),
+                cache,
+            )?;
             format!("p = {p} (= {:.6}, exact)", p.to_f64())
         }
         Semantics::InflationarySample {
@@ -123,7 +159,12 @@ fn run_query(
         Semantics::NoninflationaryExact => {
             program("noninflationary")?;
             let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let p = exact_noninflationary::evaluate(&fq, &prepared, ChainBudget::default())?;
+            let p = exact_noninflationary::evaluate_with_cache(
+                &fq,
+                &prepared,
+                ChainBudget::default(),
+                cache,
+            )?;
             format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
         }
         Semantics::TimeAverage { steps, seed } => {
@@ -152,7 +193,12 @@ fn run_query(
         }
         Semantics::KernelExact => {
             let fq = kernel_query("kernel")?;
-            let p = exact_noninflationary::evaluate(&fq, &file.database, ChainBudget::default())?;
+            let p = exact_noninflationary::evaluate_with_cache(
+                &fq,
+                &file.database,
+                ChainBudget::default(),
+                cache,
+            )?;
             format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
         }
         Semantics::KernelTimeAverage { steps, seed } => {
@@ -186,6 +232,7 @@ fn run_query(
     Ok(QueryResult {
         directive: query.source.clone(),
         value,
+        stats: options.stats.then(|| cache.stats().to_string()),
     })
 }
 
@@ -379,7 +426,7 @@ mod tests {
         let one = RunOptions {
             threads: 1,
             seed: Some(99),
-            no_adaptive: false,
+            ..RunOptions::default()
         };
         let four = RunOptions {
             threads: 4,
@@ -406,6 +453,41 @@ mod tests {
             results[1].value
         );
         assert!(!results[1].value.contains("stopped early"));
+    }
+
+    #[test]
+    fn stats_lines_are_attached_and_deterministic() {
+        let src = r#"
+@relation E(i, j, p) {
+  (v, w, 1/2)
+  (v, u, 1/2)
+}
+@program {
+  C(v).
+  C2(X!, Y) @P :- C(X), E(X, Y, P).
+  C(Y) :- C2(X, Y).
+}
+@query inflationary exact event C(w)
+@query inflationary exact event C(u)
+"#;
+        let options = RunOptions {
+            stats: true,
+            ..RunOptions::default()
+        };
+        let a = run_source_with_options(src, &options).unwrap();
+        let b = run_source_with_options(src, &options).unwrap();
+        assert_eq!(a, b, "stats output must be deterministic");
+        let first = a[0].stats.as_deref().unwrap();
+        let second = a[1].stats.as_deref().unwrap();
+        // The second query re-runs the same program on the same input:
+        // it is served from the whole-tree result memo.
+        assert!(first.contains("results 0 hit / 1 miss"), "{first}");
+        assert!(second.contains("results 1 hit / 1 miss"), "{second}");
+        // Rendering includes the stats lines; without --stats it doesn't.
+        assert!(render_results(&a).contains("  cache: states "));
+        let plain = run_source(src).unwrap();
+        assert_eq!(plain[0].stats, None);
+        assert!(!render_results(&plain).contains("cache:"));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Shared evaluation caches for the exact evaluators.
+//!
+//! One [`EvalCache`] holds every memo the exact engines use: the
+//! inflationary engine's [`FixpointMemo`] (interned computation-tree
+//! nodes, successor rows, whole-tree results) and the non-inflationary
+//! engine's [`ChainCache`] (interned database states plus kernel rows).
+//! All entries are keyed by `(fingerprint, StateId)` over *immutable*
+//! values, so there is no invalidation story: a cache can be shared
+//! across queries, across the possible worlds of a pc-table, and across
+//! repeated evaluations for the lifetime of a process.
+//!
+//! [`CacheConfig::disabled()`] routes evaluation through the legacy
+//! un-memoized paths; the differential tests in
+//! `tests/memo_consistency.rs` pin both paths to bit-identical results.
+
+use pfq_data::intern::{StateId, StateStore, TransitionCache};
+use pfq_datalog::inflationary::FixpointMemo;
+use pfq_num::Ratio;
+use std::fmt;
+use std::sync::Arc;
+
+/// Switches between the memoized engines and the legacy reference
+/// implementations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Whether interning/memoization is active. On by default.
+    pub enabled: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { enabled: true }
+    }
+}
+
+impl CacheConfig {
+    /// A configuration that forces the legacy un-memoized paths — the
+    /// escape hatch the differential tests compare against.
+    pub fn disabled() -> CacheConfig {
+        CacheConfig { enabled: false }
+    }
+}
+
+/// A memoized kernel row: the successor states (interned) with their
+/// exact one-step probabilities.
+pub(crate) type KernelRow = Arc<Vec<(StateId, Ratio)>>;
+
+/// Memo state of the non-inflationary engine: database instances
+/// interned to dense [`StateId`]s plus kernel rows cached per
+/// `(kernel fingerprint, StateId)`.
+pub struct ChainCache {
+    pub(crate) store: StateStore,
+    pub(crate) steps: TransitionCache<KernelRow>,
+}
+
+impl ChainCache {
+    /// An empty chain cache.
+    pub fn new() -> ChainCache {
+        ChainCache {
+            store: StateStore::new(),
+            steps: TransitionCache::new(),
+        }
+    }
+
+    /// Distinct database states interned so far.
+    pub fn states(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Estimated logical bytes of the interned databases.
+    pub fn approx_bytes(&self) -> usize {
+        self.store.approx_bytes()
+    }
+}
+
+impl Default for ChainCache {
+    fn default() -> Self {
+        ChainCache::new()
+    }
+}
+
+/// The combined cache threaded through the exact evaluators.
+pub struct EvalCache {
+    config: CacheConfig,
+    pub(crate) fixpoints: FixpointMemo,
+    pub(crate) chain: ChainCache,
+}
+
+impl EvalCache {
+    /// A fresh cache under the given configuration.
+    pub fn new(config: CacheConfig) -> EvalCache {
+        EvalCache {
+            config,
+            fixpoints: FixpointMemo::new(),
+            chain: ChainCache::new(),
+        }
+    }
+
+    /// Whether memoization is active (disabled caches route evaluation
+    /// through the legacy paths and stay empty).
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// A snapshot of every counter, suitable for `--stats` reporting.
+    pub fn stats(&self) -> CacheStats {
+        let fx = self.fixpoints.stats();
+        CacheStats {
+            engine_states: fx.states,
+            db_states: self.chain.states(),
+            approx_bytes: fx.approx_bytes + self.chain.approx_bytes(),
+            step_hits: fx.step_hits,
+            step_misses: fx.step_misses,
+            result_hits: fx.result_hits,
+            result_misses: fx.result_misses,
+            kernel_hits: self.chain.steps.hits(),
+            kernel_misses: self.chain.steps.misses(),
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new(CacheConfig::default())
+    }
+}
+
+/// Counters exposed by [`EvalCache::stats`]. Every field is
+/// deterministic for a fixed input — no wall times — so rendered stats
+/// are byte-stable and golden-testable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Distinct inflationary computation-tree nodes interned.
+    pub engine_states: usize,
+    /// Distinct database states interned by the chain builder.
+    pub db_states: usize,
+    /// Estimated logical bytes across both interners.
+    pub approx_bytes: usize,
+    /// Inflationary successor-row lookups served from the memo.
+    pub step_hits: u64,
+    /// Inflationary successor-row lookups that evaluated the rules.
+    pub step_misses: u64,
+    /// Whole-tree result lookups served from the memo.
+    pub result_hits: u64,
+    /// Whole-tree result lookups that traversed the tree.
+    pub result_misses: u64,
+    /// Kernel-row lookups served from the memo (non-inflationary).
+    pub kernel_hits: u64,
+    /// Kernel-row lookups that evaluated the kernel.
+    pub kernel_misses: u64,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "states {} engine + {} db ({} B); steps {} hit / {} miss; \
+             results {} hit / {} miss; kernel rows {} hit / {} miss",
+            self.engine_states,
+            self.db_states,
+            self.approx_bytes,
+            self.step_hits,
+            self.step_misses,
+            self.result_hits,
+            self.result_misses,
+            self.kernel_hits,
+            self.kernel_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_on() {
+        assert!(CacheConfig::default().enabled);
+        assert!(!CacheConfig::disabled().enabled);
+        assert!(EvalCache::default().enabled());
+        assert!(!EvalCache::new(CacheConfig::disabled()).enabled());
+    }
+
+    #[test]
+    fn fresh_cache_stats_are_zero() {
+        let stats = EvalCache::default().stats();
+        assert_eq!(stats, CacheStats::default());
+    }
+
+    #[test]
+    fn stats_render_is_deterministic() {
+        let stats = CacheStats {
+            engine_states: 12,
+            db_states: 5,
+            approx_bytes: 2345,
+            step_hits: 10,
+            step_misses: 4,
+            result_hits: 3,
+            result_misses: 1,
+            kernel_hits: 0,
+            kernel_misses: 0,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "states 12 engine + 5 db (2345 B); steps 10 hit / 4 miss; \
+             results 3 hit / 1 miss; kernel rows 0 hit / 0 miss"
+        );
+    }
+}

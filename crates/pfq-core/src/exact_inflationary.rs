@@ -7,10 +7,10 @@
 //! over its possible worlds first (§3.2: pc-table choices are made
 //! *once*, at the beginning).
 
-use crate::{CoreError, DatalogQuery};
+use crate::{CoreError, DatalogQuery, EvalCache};
 use pfq_ctable::PcDatabase;
 use pfq_data::Database;
-use pfq_datalog::inflationary::enumerate_fixpoints;
+use pfq_datalog::inflationary::{enumerate_fixpoints, enumerate_fixpoints_memo};
 use pfq_num::Ratio;
 
 /// Resource limits for exact evaluation; both default to unbounded.
@@ -23,22 +23,57 @@ pub struct ExactBudget {
 }
 
 /// Computes the exact probability of the query event over a certain
-/// (non-probabilistic) input database.
+/// (non-probabilistic) input database. Runs on a fresh private cache;
+/// use [`evaluate_with_cache`] to share memoized work across calls.
 pub fn evaluate(
     query: &DatalogQuery,
     db: &Database,
     budget: ExactBudget,
 ) -> Result<Ratio, CoreError> {
-    let fixpoints = enumerate_fixpoints(&query.program, db, budget.node_budget)?;
+    evaluate_with_cache(query, db, budget, &mut EvalCache::default())
+}
+
+/// Like [`evaluate`], but threads an explicit [`EvalCache`]: repeated
+/// queries over the same program and database are served from the
+/// whole-tree result memo, and distinct inputs still share interned
+/// states and successor rows. A disabled cache routes through the legacy
+/// un-memoized [`enumerate_fixpoints`] reference path.
+pub fn evaluate_with_cache(
+    query: &DatalogQuery,
+    db: &Database,
+    budget: ExactBudget,
+    cache: &mut EvalCache,
+) -> Result<Ratio, CoreError> {
+    if !cache.enabled() {
+        let fixpoints = enumerate_fixpoints(&query.program, db, budget.node_budget)?;
+        return Ok(fixpoints.probability_that(|db| query.event.holds(db)));
+    }
+    let fixpoints =
+        enumerate_fixpoints_memo(&query.program, db, budget.node_budget, &mut cache.fixpoints)?;
     Ok(fixpoints.probability_that(|db| query.event.holds(db)))
 }
 
 /// Computes the exact probability of the query event over a probabilistic
-/// c-table input: `Σ_worlds Pr(world) · Pr(event | world)`.
+/// c-table input: `Σ_worlds Pr(world) · Pr(event | world)`. Runs on a
+/// fresh private cache shared across the worlds; use
+/// [`evaluate_pc_with_cache`] to also share it across calls.
 pub fn evaluate_pc(
     query: &DatalogQuery,
     input: &PcDatabase,
     budget: ExactBudget,
+) -> Result<Ratio, CoreError> {
+    evaluate_pc_with_cache(query, input, budget, &mut EvalCache::default())
+}
+
+/// Like [`evaluate_pc`], but threads one [`EvalCache`] through every
+/// possible world of the pc-table, so worlds reuse each other's interned
+/// states and transition rows — §3.2 worlds differ in a handful of input
+/// tuples, leaving most of the computation tree shared.
+pub fn evaluate_pc_with_cache(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    budget: ExactBudget,
+    cache: &mut EvalCache,
 ) -> Result<Ratio, CoreError> {
     let worlds = input.enumerate_worlds()?;
     if let Some(limit) = budget.world_budget {
@@ -51,7 +86,7 @@ pub fn evaluate_pc(
     }
     let mut total = Ratio::zero();
     for (world, p) in worlds.iter() {
-        let conditional = evaluate(query, world, budget)?;
+        let conditional = evaluate_with_cache(query, world, budget, cache)?;
         total = total.add_ref(&p.mul_ref(&conditional));
     }
     Ok(total)
@@ -202,5 +237,60 @@ mod tests {
             world_budget: None,
         };
         assert!(evaluate(&reach_query("w"), &fork_db(), budget).is_err());
+    }
+
+    #[test]
+    fn cached_and_disabled_paths_agree() {
+        let db = fork_db();
+        let mut shared = EvalCache::default();
+        let mut off = EvalCache::new(crate::CacheConfig::disabled());
+        for target in ["w", "v", "u", "nowhere"] {
+            let q = reach_query(target);
+            let a = evaluate_with_cache(&q, &db, ExactBudget::default(), &mut shared).unwrap();
+            let b = evaluate_with_cache(&q, &db, ExactBudget::default(), &mut off).unwrap();
+            assert_eq!(a, b);
+        }
+        assert!(shared.stats().engine_states > 0);
+        // A disabled cache never accumulates anything.
+        assert_eq!(off.stats(), crate::CacheStats::default());
+    }
+
+    #[test]
+    fn repeated_queries_share_the_result_memo() {
+        // Same program over the same database: only the event differs,
+        // so the second query is a whole-tree memo hit.
+        let db = fork_db();
+        let mut cache = EvalCache::default();
+        evaluate_with_cache(&reach_query("w"), &db, ExactBudget::default(), &mut cache).unwrap();
+        assert_eq!(cache.stats().result_hits, 0);
+        let p = evaluate_with_cache(&reach_query("u"), &db, ExactBudget::default(), &mut cache)
+            .unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+        assert_eq!(cache.stats().result_hits, 1);
+        assert_eq!(cache.stats().result_misses, 1);
+    }
+
+    #[test]
+    fn pc_worlds_share_one_cache() {
+        let mut input = PcDatabase::new();
+        input
+            .declare_variable(RandomVariable::fair_coin("x"))
+            .unwrap();
+        input.add_table(
+            "E",
+            PcTable::new(Schema::new(["i", "j", "p"]))
+                .with(tuple!["v", "w", 1], Condition::eq("x", 1)),
+        );
+        let mut cache = EvalCache::default();
+        let q = reach_query("w");
+        let p = evaluate_pc_with_cache(&q, &input, ExactBudget::default(), &mut cache).unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+        // Two worlds were enumerated cold …
+        assert_eq!(cache.stats().result_misses, 2);
+        // … and a repeat of the whole pc query is served from the memo.
+        let p2 = evaluate_pc_with_cache(&q, &input, ExactBudget::default(), &mut cache).unwrap();
+        assert_eq!(p2, p);
+        assert_eq!(cache.stats().result_hits, 2);
+        assert_eq!(cache.stats().result_misses, 2);
     }
 }

@@ -7,11 +7,15 @@
 //! closed SCCs of the condensation in general (Thm. 5.5). The query
 //! result is the summed long-run probability of event states.
 
-use crate::{CoreError, ForeverQuery};
+use crate::cache::ChainCache;
+use crate::{CoreError, EvalCache, ForeverQuery};
+use pfq_algebra::AlgebraError;
+use pfq_data::intern::{fingerprint64, StateId};
 use pfq_data::Database;
 use pfq_markov::absorption::long_run_distribution;
 use pfq_markov::MarkovChain;
-use pfq_num::Ratio;
+use pfq_num::{Distribution, Ratio};
+use std::sync::Arc;
 
 /// Budgets for explicit chain construction; defaults are deliberately
 /// finite because the state space is exponential in the database size.
@@ -34,6 +38,10 @@ impl Default for ChainBudget {
 
 /// Builds the explicit Markov chain over database instances reachable
 /// from `db` under the query's kernel.
+///
+/// This is the legacy path keying the chain on whole `Database` values
+/// (every dedup an `O(|db|)` comparison); [`build_chain_interned`] runs
+/// the same exploration over dense [`StateId`]s.
 pub fn build_chain(
     query: &ForeverQuery,
     db: &Database,
@@ -48,19 +56,99 @@ pub fn build_chain(
     Ok(chain)
 }
 
+/// The stable fingerprint of a query's transition kernel, keying its
+/// memoized rows in the [`ChainCache`].
+pub fn kernel_fingerprint(query: &ForeverQuery) -> u64 {
+    fingerprint64(&query.kernel.to_string())
+}
+
+/// Theorem 5.5 chain construction over interned states: databases are
+/// hash-consed to [`StateId`]s in the cache's state store (dedup becomes
+/// a `u32` compare) and kernel rows are memoized per
+/// `(kernel fingerprint, StateId)`, so re-evaluating the same query —
+/// or any query with the same kernel — reuses every transition already
+/// computed. Resolve chain states back to databases through
+/// [`EvalCache`]'s store.
+pub fn build_chain_interned(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+    cache: &mut EvalCache,
+) -> Result<MarkovChain<StateId>, CoreError> {
+    let fp = kernel_fingerprint(query);
+    let ChainCache { store, steps } = &mut cache.chain;
+    let start = store.intern(db.clone());
+    let kernel = &query.kernel;
+    let chain = MarkovChain::explore(
+        [start],
+        |&sid: &StateId| -> Result<Distribution<StateId>, AlgebraError> {
+            if let Some(row) = steps.get(fp, sid) {
+                return Ok(row.iter().cloned().collect());
+            }
+            let state = store.resolve(sid).clone();
+            let succ = kernel.enumerate_step(&state, Some(budget.world_limit))?;
+            let mut row = Vec::with_capacity(succ.support_size());
+            for (next, q) in succ.into_iter() {
+                row.push((store.intern(next), q));
+            }
+            let row = Arc::new(row);
+            steps.insert(fp, sid, row.clone());
+            Ok(row.iter().cloned().collect())
+        },
+        Some(budget.max_states),
+    )?;
+    Ok(chain)
+}
+
 /// The exact query result: the long-run probability that the event holds
-/// on the random walk of database instances started at `db`.
+/// on the random walk of database instances started at `db`. Runs on a
+/// fresh private cache; use [`evaluate_with_cache`] to share memoized
+/// kernel rows across calls.
 pub fn evaluate(
     query: &ForeverQuery,
     db: &Database,
     budget: ChainBudget,
 ) -> Result<Ratio, CoreError> {
-    let chain = build_chain(query, db, budget)?;
-    let start = chain.index_of(db).expect("start state was interned");
+    evaluate_with_cache(query, db, budget, &mut EvalCache::default())
+}
+
+/// Like [`evaluate`], but threads an explicit [`EvalCache`]: the chain
+/// is explored over interned states and kernel rows are shared across
+/// evaluations. A disabled cache routes through the legacy
+/// [`build_chain`] reference path.
+pub fn evaluate_with_cache(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+    cache: &mut EvalCache,
+) -> Result<Ratio, CoreError> {
+    if !cache.enabled() {
+        let chain = build_chain(query, db, budget)?;
+        let start = chain.index_of(db).expect("start state was interned");
+        let long_run = long_run_distribution(&chain, start)?;
+        let mut total = Ratio::zero();
+        for (i, p) in long_run.iter().enumerate() {
+            if !p.is_zero() && query.event.holds(chain.state(i)) {
+                total = total.add_ref(p);
+            }
+        }
+        return Ok(total);
+    }
+    let chain = build_chain_interned(query, db, budget, cache)?;
+    let start_id = cache
+        .chain
+        .store
+        .lookup(db)
+        .expect("start state was interned");
+    let start = chain.index_of(&start_id).expect("start state in chain");
     let long_run = long_run_distribution(&chain, start)?;
     let mut total = Ratio::zero();
     for (i, p) in long_run.iter().enumerate() {
-        if !p.is_zero() && query.event.holds(chain.state(i)) {
+        if !p.is_zero()
+            && query
+                .event
+                .holds(cache.chain.store.resolve(*chain.state(i)))
+        {
             total = total.add_ref(p);
         }
     }
@@ -206,5 +294,58 @@ mod tests {
         let db = Database::new().with("C", Relation::from_rows(Schema::new(["i"]), [tuple![5]]));
         let q = ForeverQuery::new(Interpretation::new(), Event::tuple_in("C", tuple![5]));
         assert!(evaluate(&q, &db, ChainBudget::default()).unwrap().is_one());
+    }
+
+    #[test]
+    fn cached_and_disabled_paths_agree() {
+        for target in [1, 2, 3, 99] {
+            let (q, db) = walk_query(target);
+            let mut on = EvalCache::default();
+            let mut off = EvalCache::new(crate::CacheConfig::disabled());
+            assert_eq!(
+                evaluate_with_cache(&q, &db, ChainBudget::default(), &mut on).unwrap(),
+                evaluate_with_cache(&q, &db, ChainBudget::default(), &mut off).unwrap(),
+            );
+            assert_eq!(off.stats(), crate::CacheStats::default());
+        }
+    }
+
+    #[test]
+    fn interned_chain_matches_legacy_structure() {
+        let (q, db) = walk_query(1);
+        let mut cache = EvalCache::default();
+        let legacy = build_chain(&q, &db, ChainBudget::default()).unwrap();
+        let interned = build_chain_interned(&q, &db, ChainBudget::default(), &mut cache).unwrap();
+        assert_eq!(legacy.len(), interned.len());
+        // Resolving every interned state yields exactly the legacy state
+        // set, with identical outgoing rows modulo the index permutation.
+        for i in 0..interned.len() {
+            let db_i: &Database = cache.chain.store.resolve(*interned.state(i));
+            let li = legacy.index_of(db_i).expect("state in legacy chain");
+            for (j, p) in interned.row(i) {
+                let db_j: &Database = cache.chain.store.resolve(*interned.state(*j));
+                let lj = legacy.index_of(db_j).unwrap();
+                assert_eq!(legacy.prob(li, lj), p.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_rows_are_reused_across_evaluations() {
+        let (q1, db) = walk_query(1);
+        let mut cache = EvalCache::default();
+        evaluate_with_cache(&q1, &db, ChainBudget::default(), &mut cache).unwrap();
+        let cold = cache.stats();
+        assert_eq!(cold.kernel_hits, 0);
+        assert_eq!(cold.kernel_misses, 3);
+        assert_eq!(cold.db_states, 3);
+        // Same kernel, different event: every row is served from the memo.
+        let (q2, _) = walk_query(2);
+        let p = evaluate_with_cache(&q2, &db, ChainBudget::default(), &mut cache).unwrap();
+        assert_eq!(p, Ratio::new(1, 4));
+        let warm = cache.stats();
+        assert_eq!(warm.kernel_hits, 3);
+        assert_eq!(warm.kernel_misses, 3);
+        assert_eq!(warm.db_states, 3);
     }
 }

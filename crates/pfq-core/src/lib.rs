@@ -22,7 +22,13 @@
 //! [`sampler`], which provides deterministic per-trial RNG streams
 //! (same seed ⇒ bit-identical estimates at any thread count) and
 //! adaptive early stopping under the `(ε, δ)` guarantee.
+//!
+//! Both exact evaluators run over the interning/memoization layer in
+//! [`cache`]: states are hash-consed to dense ids and transition work is
+//! memoized per `(fingerprint, state)`, with an [`EvalCache`] shareable
+//! across queries and across the possible worlds of a pc-table.
 
+pub mod cache;
 pub mod error;
 pub mod event;
 pub mod exact_inflationary;
@@ -33,6 +39,7 @@ pub mod query;
 pub mod sample_inflationary;
 pub mod sampler;
 
+pub use cache::{CacheConfig, CacheStats, EvalCache};
 pub use error::CoreError;
 pub use event::Event;
 pub use query::{DatalogQuery, ForeverQuery};

@@ -1,0 +1,424 @@
+//! Hash-consing for Markov-chain states and memoized transitions.
+//!
+//! The exact evaluators (Prop. 4.4 tree enumeration, Thm. 5.5 chain
+//! construction) repeatedly deduplicate whole [`Database`] values: every
+//! frontier merge and every `index_of` was an `O(|db|)` ordered
+//! comparison, and every possible world of a pc-table re-derived every
+//! transition distribution from scratch. This module provides the shared
+//! substrate that makes those paths cheap:
+//!
+//! * [`Interner<T>`] — generic hash-consing: each distinct value is stored
+//!   once behind an [`Arc`] and named by a dense [`StateId`]; after
+//!   interning, equality and ordering are `u32` operations.
+//! * [`StateStore`] — an `Interner<Database>` with logical byte
+//!   accounting, the canonical state table of the exact evaluators.
+//! * [`TransitionCache<V>`] — a memo table keyed by
+//!   `(program fingerprint, StateId)` with hit/miss counters, used to
+//!   cache `step_distribution` rows and whole kernel-enumeration results.
+//! * [`fingerprint64`] — a stable FNV-1a fingerprint for programs and
+//!   kernels (hashed over their canonical `Display` rendering), so one
+//!   cache can serve many queries without cross-talk.
+//!
+//! Interned states are immutable, so there is no invalidation story:
+//! caches only ever grow, and entries stay valid for the lifetime of the
+//! store they reference. Ids are only meaningful relative to the
+//! [`Interner`] that produced them.
+
+use crate::{Database, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A dense identifier for an interned state.
+///
+/// `StateId`s are assigned consecutively from 0 in interning order, so
+/// they double as indices into per-state side tables. They are only
+/// comparable within the [`Interner`] that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` payload.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A generic hash-consing interner: one canonical `Arc<T>` per distinct
+/// value, named by a dense [`StateId`].
+///
+/// ```
+/// use pfq_data::intern::Interner;
+/// let mut i: Interner<String> = Interner::new();
+/// let a = i.intern("x".to_string());
+/// let b = i.intern("x".to_string());
+/// assert_eq!(a, b);
+/// assert_eq!(i.len(), 1);
+/// assert_eq!(i.hits(), 1);
+/// assert_eq!(i.resolve(a).as_str(), "x");
+/// ```
+pub struct Interner<T> {
+    items: Vec<Arc<T>>,
+    index: HashMap<Arc<T>, StateId>,
+    hits: u64,
+    bytes: usize,
+    sizer: fn(&T) -> usize,
+}
+
+impl<T: Eq + Hash> Interner<T> {
+    /// An empty interner; byte accounting uses `size_of::<T>()` per entry.
+    pub fn new() -> Interner<T> {
+        Interner::with_sizer(|_| std::mem::size_of::<T>())
+    }
+
+    /// An empty interner with a custom per-value size estimate.
+    pub fn with_sizer(sizer: fn(&T) -> usize) -> Interner<T> {
+        Interner {
+            items: Vec::new(),
+            index: HashMap::new(),
+            hits: 0,
+            bytes: 0,
+            sizer,
+        }
+    }
+
+    /// Interns `value`, returning its canonical id. Re-interning an
+    /// already-known value is an `O(1)` hash lookup (counted as a hit).
+    pub fn intern(&mut self, value: T) -> StateId {
+        if let Some(&id) = self.index.get(&value) {
+            self.hits += 1;
+            return id;
+        }
+        assert!(
+            self.items.len() < u32::MAX as usize,
+            "interner overflow: more than u32::MAX distinct states"
+        );
+        let id = StateId(self.items.len() as u32);
+        self.bytes += (self.sizer)(&value);
+        let arc = Arc::new(value);
+        self.items.push(arc.clone());
+        self.index.insert(arc, id);
+        id
+    }
+
+    /// The id of `value`, if already interned (not counted as a hit).
+    pub fn lookup(&self, value: &T) -> Option<StateId> {
+        self.index.get(value).copied()
+    }
+
+    /// The canonical value behind `id`.
+    ///
+    /// # Panics
+    /// If `id` did not come from this interner.
+    pub fn resolve(&self, id: StateId) -> &Arc<T> {
+        &self.items[id.index()]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// How many [`intern`](Self::intern) calls found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Estimated logical bytes held by the distinct interned values.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<T: Eq + Hash> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Interner<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.items.len())
+            .field("hits", &self.hits)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Estimated logical size of a [`Value`] in bytes (deterministic across
+/// platforms: payload content only, no allocator overhead).
+pub fn value_approx_bytes(v: &Value) -> usize {
+    match v {
+        Value::Int(_) => 8,
+        Value::Str(s) => s.len(),
+        Value::Ratio(r) => r.to_string().len(),
+    }
+}
+
+/// Estimated logical size of a [`Database`] in bytes: relation and column
+/// names plus every stored value. Deterministic, so it is safe to print
+/// in golden-tested `--stats` output.
+pub fn database_approx_bytes(db: &Database) -> usize {
+    let mut bytes = 0;
+    for (name, rel) in db.iter() {
+        bytes += name.len();
+        bytes += rel
+            .schema()
+            .columns()
+            .iter()
+            .map(String::len)
+            .sum::<usize>();
+        for t in rel.iter() {
+            bytes += t.values().iter().map(value_approx_bytes).sum::<usize>();
+        }
+    }
+    bytes
+}
+
+/// The state store of the exact evaluators: a [`Database`] interner with
+/// content-aware byte accounting. One canonical `Arc<Database>` per
+/// distinct instance; after interning, frontier dedup and `index_of`
+/// compare `u32` ids instead of whole databases.
+#[derive(Debug, Default)]
+pub struct StateStore {
+    inner: Interner<Database>,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> StateStore {
+        StateStore {
+            inner: Interner::with_sizer(database_approx_bytes),
+        }
+    }
+
+    /// Interns a database instance.
+    pub fn intern(&mut self, db: Database) -> StateId {
+        self.inner.intern(db)
+    }
+
+    /// The id of `db`, if already interned.
+    pub fn lookup(&self, db: &Database) -> Option<StateId> {
+        self.inner.lookup(db)
+    }
+
+    /// The canonical instance behind `id`.
+    pub fn resolve(&self, id: StateId) -> &Arc<Database> {
+        self.inner.resolve(id)
+    }
+
+    /// Number of distinct instances interned.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// How many interns found an existing instance.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Estimated logical bytes of all distinct instances.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.approx_bytes()
+    }
+}
+
+/// Stable 64-bit FNV-1a fingerprint of a canonical text rendering.
+///
+/// Programs and kernels are fingerprinted by their `Display` form, which
+/// is already canonical in this workspace; the fingerprint keys
+/// [`TransitionCache`] entries so one cache serves many queries.
+pub fn fingerprint64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A memo table keyed by `(fingerprint, StateId)` with hit/miss counters.
+///
+/// `V` is whatever a transition computation produces: a successor row
+/// `Vec<(StateId, Ratio)>`, an `Option` of one (fixpoint marker), or an
+/// `Arc` of a whole enumeration result. Values are cloned out on hit, so
+/// wrap anything heavy in `Arc`.
+#[derive(Debug)]
+pub struct TransitionCache<V> {
+    map: HashMap<(u64, StateId), V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> TransitionCache<V> {
+    /// An empty cache.
+    pub fn new() -> TransitionCache<V> {
+        TransitionCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the entry for `(fingerprint, state)`, counting a hit or
+    /// a miss.
+    pub fn get(&mut self, fingerprint: u64, state: StateId) -> Option<V> {
+        match self.map.get(&(fingerprint, state)) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the entry for `(fingerprint, state)`.
+    pub fn insert(&mut self, fingerprint: u64, state: StateId, value: V) {
+        self.map.insert((fingerprint, state), value);
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl<V: Clone> Default for TransitionCache<V> {
+    fn default() -> Self {
+        TransitionCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Relation, Schema};
+
+    fn db(n: i64) -> Database {
+        Database::new().with(
+            "E",
+            Relation::from_rows(Schema::new(["i", "j"]), [tuple![n, n + 1]]),
+        )
+    }
+
+    #[test]
+    fn interning_dedups_and_resolves() {
+        let mut store = StateStore::new();
+        let a = store.intern(db(1));
+        let b = store.intern(db(2));
+        let a2 = store.intern(db(1));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(**store.resolve(a), db(1));
+        assert_eq!(store.lookup(&db(2)), Some(b));
+        assert_eq!(store.lookup(&db(3)), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_intern_order() {
+        let mut store = StateStore::new();
+        for n in 0..5 {
+            let id = store.intern(db(n));
+            assert_eq!(id.index(), n as usize);
+            assert_eq!(id.raw(), n as u32);
+        }
+        assert_eq!(store.intern(db(3)).index(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_is_deterministic_and_monotone() {
+        let mut store = StateStore::new();
+        assert_eq!(store.approx_bytes(), 0);
+        store.intern(db(1));
+        let one = store.approx_bytes();
+        assert!(one > 0);
+        store.intern(db(1)); // duplicate: no growth
+        assert_eq!(store.approx_bytes(), one);
+        store.intern(db(2));
+        assert_eq!(store.approx_bytes(), 2 * one); // same shape ⇒ same size
+
+        let mut other = StateStore::new();
+        other.intern(db(1));
+        assert_eq!(other.approx_bytes(), one);
+    }
+
+    #[test]
+    fn value_bytes_cover_all_variants() {
+        assert_eq!(value_approx_bytes(&Value::int(7)), 8);
+        assert_eq!(value_approx_bytes(&Value::str("abc")), 3);
+        assert!(value_approx_bytes(&Value::frac(1, 3)) >= 3); // "1/3"
+    }
+
+    #[test]
+    fn fingerprints_separate_programs() {
+        let a = fingerprint64("C(v).");
+        let b = fingerprint64("C(w).");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint64("C(v)."));
+        assert_eq!(fingerprint64(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn transition_cache_counts_hits_and_misses() {
+        let mut store = StateStore::new();
+        let s = store.intern(db(1));
+        let mut cache: TransitionCache<u32> = TransitionCache::new();
+        assert_eq!(cache.get(1, s), None);
+        cache.insert(1, s, 42);
+        assert_eq!(cache.get(1, s), Some(42));
+        assert_eq!(cache.get(2, s), None); // other program, same state
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn generic_interner_default_sizer() {
+        let mut i: Interner<u64> = Interner::new();
+        let a = i.intern(9);
+        assert_eq!(*i.resolve(a).as_ref(), 9);
+        assert_eq!(i.approx_bytes(), 8);
+    }
+}

@@ -11,12 +11,14 @@
 //! trees) reproducible.
 
 pub mod database;
+pub mod intern;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use database::Database;
+pub use intern::{StateId, StateStore, TransitionCache};
 pub use relation::Relation;
 pub use schema::Schema;
 pub use tuple::Tuple;

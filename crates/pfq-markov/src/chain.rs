@@ -44,6 +44,14 @@ impl std::error::Error for ChainError {}
 /// A finite Markov chain over states of type `S`, with exact rational
 /// transition probabilities stored sparsely (one row per state).
 ///
+/// Every `index_of`/dedup during [`MarkovChain::explore`] compares whole
+/// states, so `S` should be cheap to order: callers exploring database
+/// instances intern them first (`pfq-data`'s `StateStore` maps each
+/// distinct database to a dense `u32` `StateId`) and explore a chain of
+/// ids — that is how `pfq-core::exact_noninflationary` builds its
+/// chains, resolving ids back to databases only at event-evaluation
+/// time.
+///
 /// ```
 /// use pfq_markov::MarkovChain;
 /// use pfq_markov::stationary::exact_stationary;

@@ -1,7 +1,7 @@
 //! The `.pfq` example files in the repository stay valid and produce the
 //! documented exact answers.
 
-use pfq_cli::run_file;
+use pfq_cli::{render_results, run_file, run_file_with_options, RunOptions};
 use std::path::Path;
 
 fn repo_example(name: &str) -> std::path::PathBuf {
@@ -54,6 +54,32 @@ fn pagerank_pfq_is_exact_and_sums_to_one() {
         results[0].value.starts_with(&format!("p = {expected}")),
         "{} vs {expected}",
         results[0].value
+    );
+}
+
+#[test]
+fn stats_demo_pfq_matches_golden_output() {
+    // `pfq run --stats` output is byte-stable: exact queries carry no
+    // wall-time fields, and every cache counter is deterministic. This
+    // pins the whole stats surface against silent drift.
+    let options = RunOptions {
+        stats: true,
+        ..RunOptions::default()
+    };
+    let results = run_file_with_options(&repo_example("stats_demo.pfq"), &options).unwrap();
+    let rendered = render_results(&results);
+    let golden = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("golden")
+            .join("stats_demo.out"),
+    )
+    .unwrap();
+    assert_eq!(
+        rendered, golden,
+        "stats output drifted from tests/golden/stats_demo.out; \
+         if the change is intentional, regenerate with \
+         `pfq run examples/stats_demo.pfq --stats`"
     );
 }
 

@@ -1,0 +1,236 @@
+//! Differential tests for the interning/memoization layer: the memoized
+//! evaluators must return **bit-identical** `Ratio` results to the
+//! legacy un-memoized paths (reached through `CacheConfig::disabled()`)
+//! on every workload family, including when one shared cache serves
+//! many repeated and interleaved queries. Exact rational mass is merged
+//! commutatively, so any deviation is a real engine bug, not noise.
+
+use pfq::data::Database;
+use pfq::lang::exact_inflationary::{self, ExactBudget};
+use pfq::lang::exact_noninflationary::{self, ChainBudget};
+use pfq::lang::{CacheConfig, EvalCache};
+use pfq::num::Ratio;
+use pfq::workloads::coloring::ColoringMcmc;
+use pfq::workloads::graphs::{walk_query, WeightedGraph};
+use pfq::workloads::queue::BirthDeathQueue;
+use pfq::workloads::sat::{theorem_4_1_pc, Cnf};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn disabled() -> EvalCache {
+    EvalCache::new(CacheConfig::disabled())
+}
+
+/// Inflationary reachability over random and structured graphs: one
+/// shared cache across every (graph, target) pair vs the legacy path.
+#[test]
+fn differential_graph_reachability() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    let mut graphs = vec![WeightedGraph::cycle(5), WeightedGraph::dumbbell(3)];
+    for _ in 0..3 {
+        graphs.push(WeightedGraph::erdos_renyi(5, 0.5, &mut rng));
+    }
+    let mut shared = EvalCache::default();
+    for g in &graphs {
+        let db = Database::new().with("E", g.edge_relation());
+        for target in 0..g.n as i64 {
+            let q = pfq::workloads::graphs::reachability_query(0, target);
+            let legacy = exact_inflationary::evaluate_with_cache(
+                &q,
+                &db,
+                ExactBudget::default(),
+                &mut disabled(),
+            )
+            .unwrap();
+            let memoized = exact_inflationary::evaluate_with_cache(
+                &q,
+                &db,
+                ExactBudget::default(),
+                &mut shared,
+            )
+            .unwrap();
+            assert_eq!(memoized, legacy, "graph n={} target={target}", g.n);
+        }
+    }
+    assert!(shared.stats().engine_states > 0);
+    // Each graph has one program fingerprint and one initial database,
+    // so the per-target repeats all hit the whole-tree result memo.
+    assert!(shared.stats().result_hits > 0);
+}
+
+/// Glauber-coloring long-run marginals (non-inflationary chains): the
+/// interned chain vs the legacy whole-database chain.
+#[test]
+fn differential_coloring() {
+    let cases = vec![
+        ColoringMcmc::new(3, vec![(0, 1), (0, 2), (1, 2)], 4),
+        ColoringMcmc::new(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)], 3),
+    ];
+    let mut shared = EvalCache::default();
+    for g in &cases {
+        for vertex in 0..2 {
+            let (q, db) = g.color_query(vertex, 0);
+            let legacy = exact_noninflationary::evaluate_with_cache(
+                &q,
+                &db,
+                ChainBudget::default(),
+                &mut disabled(),
+            )
+            .unwrap();
+            let memoized = exact_noninflationary::evaluate_with_cache(
+                &q,
+                &db,
+                ChainBudget::default(),
+                &mut shared,
+            )
+            .unwrap();
+            assert_eq!(memoized, legacy, "coloring vertex {vertex}");
+        }
+    }
+    // Same kernel across the per-vertex queries ⇒ rows were reused.
+    assert!(shared.stats().kernel_hits > 0);
+}
+
+/// Birth–death queue stationary probabilities, also checked against the
+/// closed form.
+#[test]
+fn differential_queue() {
+    let queue = BirthDeathQueue::new(3, 2, 3, 2);
+    let reference = queue.stationary_reference();
+    let mut shared = EvalCache::default();
+    for k in 0..=3i64 {
+        let (q, db) = queue.length_query(0, k);
+        let legacy = exact_noninflationary::evaluate_with_cache(
+            &q,
+            &db,
+            ChainBudget::default(),
+            &mut disabled(),
+        )
+        .unwrap();
+        let memoized = exact_noninflationary::evaluate_with_cache(
+            &q,
+            &db,
+            ChainBudget::default(),
+            &mut shared,
+        )
+        .unwrap();
+        assert_eq!(memoized, legacy, "queue length {k}");
+        assert_eq!(memoized, reference[k as usize], "closed form, length {k}");
+    }
+}
+
+/// The Theorem 4.1 3-SAT pc-tables: every possible world of each
+/// pc-table runs through one shared cache, and the mixture must still
+/// equal both the legacy answer and the model-counting identity.
+#[test]
+fn differential_pc_table_sat() {
+    let mut rng = ChaCha8Rng::seed_from_u64(107);
+    let mut shared = EvalCache::default();
+    for _ in 0..3 {
+        let f = Cnf::random(4, 3, &mut rng);
+        let (query, input) = theorem_4_1_pc(&f);
+        let legacy = exact_inflationary::evaluate_pc_with_cache(
+            &query,
+            &input,
+            ExactBudget::default(),
+            &mut disabled(),
+        )
+        .unwrap();
+        let memoized = exact_inflationary::evaluate_pc_with_cache(
+            &query,
+            &input,
+            ExactBudget::default(),
+            &mut shared,
+        )
+        .unwrap();
+        assert_eq!(memoized, legacy);
+        assert_eq!(memoized, Ratio::new(f.count_satisfying() as i64, 16));
+    }
+}
+
+/// Repeated and interleaved queries against one shared cache: answers
+/// never drift as the cache warms, whatever order the engines are hit
+/// in — and warm repeats are served from the result memo.
+#[test]
+fn interleaved_queries_on_one_shared_cache() {
+    let g = WeightedGraph::dumbbell(3);
+    let reach_db = Database::new().with("E", g.edge_relation());
+    let (walk_q, walk_db) = walk_query(&g, 0, 4);
+    let reach_q = pfq::workloads::graphs::reachability_query(0, 4);
+
+    let legacy_reach = exact_inflationary::evaluate_with_cache(
+        &reach_q,
+        &reach_db,
+        ExactBudget::default(),
+        &mut disabled(),
+    )
+    .unwrap();
+    let legacy_walk = exact_noninflationary::evaluate_with_cache(
+        &walk_q,
+        &walk_db,
+        ChainBudget::default(),
+        &mut disabled(),
+    )
+    .unwrap();
+
+    let mut shared = EvalCache::default();
+    for round in 0..3 {
+        let reach = exact_inflationary::evaluate_with_cache(
+            &reach_q,
+            &reach_db,
+            ExactBudget::default(),
+            &mut shared,
+        )
+        .unwrap();
+        let walk = exact_noninflationary::evaluate_with_cache(
+            &walk_q,
+            &walk_db,
+            ChainBudget::default(),
+            &mut shared,
+        )
+        .unwrap();
+        assert_eq!(reach, legacy_reach, "round {round}");
+        assert_eq!(walk, legacy_walk, "round {round}");
+    }
+    let stats = shared.stats();
+    assert_eq!(stats.result_misses, 1, "one cold inflationary traversal");
+    assert_eq!(stats.result_hits, 2, "two warm repeats");
+    assert!(stats.kernel_hits >= 2 * stats.kernel_misses, "{stats:?}");
+}
+
+/// Regression for the node-budget off-by-one: `Some(limit)` admits
+/// exactly `limit` tree nodes — fixpoint leaves included — on both the
+/// memoized and legacy paths.
+#[test]
+fn node_budget_boundary_is_exact_on_both_paths() {
+    // Deterministic transitive closure on a 2-edge path: the tree is a
+    // single chain of exactly 3 nodes (2 expansions + 1 fixpoint leaf).
+    let db = Database::new().with(
+        "E",
+        pfq::data::Relation::from_rows(
+            pfq::data::Schema::new(["i", "j"]),
+            [pfq::data::tuple![1, 2], pfq::data::tuple![2, 3]],
+        ),
+    );
+    let program =
+        pfq::datalog::parse_program("T(X, Y) :- E(X, Y).\nT(X, Z) :- T(X, Y), E(Y, Z).").unwrap();
+    let q = pfq::lang::DatalogQuery::new(
+        program,
+        pfq::lang::Event::tuple_in("T", pfq::data::tuple![1, 3]),
+    );
+    for cache in [&mut EvalCache::default(), &mut disabled()] {
+        let enough = ExactBudget {
+            node_budget: Some(3),
+            world_budget: None,
+        };
+        let p = exact_inflationary::evaluate_with_cache(&q, &db, enough, cache).unwrap();
+        assert!(p.is_one());
+    }
+    for cache in [&mut EvalCache::default(), &mut disabled()] {
+        let short = ExactBudget {
+            node_budget: Some(2),
+            world_budget: None,
+        };
+        assert!(exact_inflationary::evaluate_with_cache(&q, &db, short, cache).is_err());
+    }
+}

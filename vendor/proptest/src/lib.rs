@@ -327,7 +327,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
