@@ -565,32 +565,41 @@ fn e11_bayes(knobs: &Knobs) {
     );
 }
 
-/// E12 — ablation: exact rational Gaussian elimination vs f64 power
-/// iteration for stationary distributions.
+/// E12 — ablation: the two exact solvers (dense rational Gaussian
+/// elimination vs sparse GTH elimination, asserted bit-identical) and
+/// f64 power iteration for stationary distributions.
 fn e12_stationary_ablation() {
+    use pfq_markov::StationaryMethod;
     let mut rows = Vec::new();
     for n in [8usize, 16, 32, 64] {
         let g = WeightedGraph::cycle(n).lazy(1);
         let (q, db) = walk_query(&g, 0, 0);
         let chain = exact_noninflationary::build_chain(&q, &db, ChainBudget::default()).unwrap();
-        let (d_exact, pi_exact) = time_once(|| stationary::exact_stationary(&chain).unwrap());
+        let (d_dense, pi_dense) = time_once(|| {
+            stationary::exact_stationary_with(&chain, StationaryMethod::DenseReference).unwrap()
+        });
+        let (d_gth, pi_gth) = time_once(|| {
+            stationary::exact_stationary_with(&chain, StationaryMethod::SparseGth).unwrap()
+        });
+        assert_eq!(pi_dense, pi_gth, "exact solvers must agree bit for bit");
         let (d_pi, pi_f64) =
             time_once(|| stationary::power_iteration(&chain, 1e-12, 1_000_000).unwrap());
-        let max_diff = pi_exact
+        let max_diff = pi_dense
             .iter()
             .zip(&pi_f64)
             .map(|(e, a)| (e.to_f64() - a).abs())
             .fold(0f64, f64::max);
         rows.push(vec![
             n.to_string(),
-            fmt_duration(d_exact),
+            fmt_duration(d_dense),
+            fmt_duration(d_gth),
             fmt_duration(d_pi),
             format!("{max_diff:.2e}"),
         ]);
     }
     print_table(
-        "E12 — stationary-distribution ablation: exact rational GE vs f64 lazy power iteration",
-        &["states", "exact GE", "power iteration", "max |diff|"],
+        "E12 — stationary-distribution ablation: dense rational GE vs sparse GTH (bit-identical) vs f64 lazy power iteration",
+        &["states", "dense GE", "sparse GTH", "power iteration", "max |diff|"],
         &rows,
     );
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use pfq_cli::RunOptions;
+use pfq_core::StationaryMethod;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -28,6 +29,11 @@ OPTIONS (exact queries):
     --stats            print evaluation-cache statistics after each query
                        (states interned, memo hits/misses, estimated bytes);
                        one cache is shared by every exact query in the file
+    --stationary-method <dense|gth>
+                       exact linear-algebra backend for long-run solves:
+                       gth (default) = sparse subtraction-free GTH elimination,
+                       dense = the O(n³) Gaussian-elimination reference; both
+                       return bit-identical results (A/B timing knob)
 
 FILE FORMAT (see the crate docs for details):
     @relation E(i, j, p) { (v, w, 1/2) (v, u, 1/2) }
@@ -69,6 +75,12 @@ fn parse_run_args(args: &[String]) -> Result<(String, RunOptions), String> {
             }
             "--no-adaptive" => options.no_adaptive = true,
             "--stats" => options.stats = true,
+            "--stationary-method" => {
+                let v = value("--stationary-method")?;
+                options.stationary_method = StationaryMethod::parse(&v).ok_or_else(|| {
+                    format!("bad --stationary-method value {v:?} (expected dense or gth)")
+                })?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option {flag:?}")),
             p if path.is_none() => path = Some(p.to_string()),
             extra => return Err(format!("unexpected argument {extra:?}")),
@@ -125,6 +137,8 @@ mod tests {
             "7",
             "--no-adaptive",
             "--stats",
+            "--stationary-method",
+            "dense",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -138,11 +152,22 @@ mod tests {
                 seed: Some(7),
                 no_adaptive: true,
                 stats: true,
+                stationary_method: StationaryMethod::DenseReference,
             }
+        );
+        assert_eq!(
+            parse_run_args(&["q.pfq".into()])
+                .unwrap()
+                .1
+                .stationary_method,
+            StationaryMethod::SparseGth
         );
         assert!(parse_run_args(&[]).is_err());
         assert!(parse_run_args(&["--threads".into()]).is_err());
         assert!(parse_run_args(&["a".into(), "b".into()]).is_err());
         assert!(parse_run_args(&["--bogus".into()]).is_err());
+        assert!(
+            parse_run_args(&["q.pfq".into(), "--stationary-method".into(), "x".into()]).is_err()
+        );
     }
 }

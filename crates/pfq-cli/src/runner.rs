@@ -4,7 +4,10 @@ use crate::format::{parse_file, PfqFile, Query, Semantics};
 use pfq_core::exact_inflationary::{self, ExactBudget};
 use pfq_core::exact_noninflationary::{self, ChainBudget};
 use pfq_core::sampler::{SampleReport, SamplerConfig};
-use pfq_core::{mixing_sampler, sample_inflationary, DatalogQuery, EvalCache, Event, ForeverQuery};
+use pfq_core::{
+    mixing_sampler, sample_inflationary, DatalogQuery, EvalCache, Event, ForeverQuery,
+    StationaryMethod,
+};
 use pfq_datalog::Program;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +28,10 @@ pub struct RunOptions {
     /// are cumulative over the file: one cache is shared by every exact
     /// query, so later queries show the reuse earlier ones seeded.
     pub stats: bool,
+    /// Exact linear-algebra backend for long-run solves (sparse GTH by
+    /// default; the dense reference for A/B comparison). Both return
+    /// bit-identical results.
+    pub stationary_method: StationaryMethod,
 }
 
 impl RunOptions {
@@ -159,11 +166,12 @@ fn run_query(
         Semantics::NoninflationaryExact => {
             program("noninflationary")?;
             let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let p = exact_noninflationary::evaluate_with_cache(
+            let p = exact_noninflationary::evaluate_with_cache_and_method(
                 &fq,
                 &prepared,
                 ChainBudget::default(),
                 cache,
+                options.stationary_method,
             )?;
             format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
         }
@@ -193,11 +201,12 @@ fn run_query(
         }
         Semantics::KernelExact => {
             let fq = kernel_query("kernel")?;
-            let p = exact_noninflationary::evaluate_with_cache(
+            let p = exact_noninflationary::evaluate_with_cache_and_method(
                 &fq,
                 &file.database,
                 ChainBudget::default(),
                 cache,
+                options.stationary_method,
             )?;
             format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
         }
@@ -488,6 +497,36 @@ mod tests {
         let plain = run_source(src).unwrap();
         assert_eq!(plain[0].stats, None);
         assert!(!render_results(&plain).contains("cache:"));
+    }
+
+    #[test]
+    fn stationary_methods_give_identical_output() {
+        let src = r#"
+@relation E(i, j, p) {
+  (0, 1, 1)
+  (1, 0, 1)
+  (1, 1, 1)
+}
+@relation C(c0) {
+  (0)
+}
+@program {
+  C(Y) @P :- C(X), E(X, Y, P).
+}
+@query noninflationary exact event C(1)
+"#;
+        let dense = RunOptions {
+            stationary_method: StationaryMethod::DenseReference,
+            ..RunOptions::default()
+        };
+        let gth = RunOptions {
+            stationary_method: StationaryMethod::SparseGth,
+            ..RunOptions::default()
+        };
+        assert_eq!(
+            run_source_with_options(src, &dense).unwrap(),
+            run_source_with_options(src, &gth).unwrap()
+        );
     }
 
     #[test]

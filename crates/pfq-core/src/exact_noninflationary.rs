@@ -12,8 +12,8 @@ use crate::{CoreError, EvalCache, ForeverQuery};
 use pfq_algebra::AlgebraError;
 use pfq_data::intern::{fingerprint64, StateId};
 use pfq_data::Database;
-use pfq_markov::absorption::long_run_distribution;
-use pfq_markov::MarkovChain;
+use pfq_markov::absorption::long_run_distribution_with;
+use pfq_markov::{MarkovChain, StationaryMethod};
 use pfq_num::{Distribution, Ratio};
 use std::sync::Arc;
 
@@ -112,6 +112,19 @@ pub fn evaluate(
     evaluate_with_cache(query, db, budget, &mut EvalCache::default())
 }
 
+/// [`evaluate`] with an explicit choice of exact linear-algebra backend
+/// for the long-run solve — sparse GTH by default everywhere, the dense
+/// reference for differential testing and A/B timing. Both methods
+/// return bit-identical `Ratio` results.
+pub fn evaluate_with_method(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+    method: StationaryMethod,
+) -> Result<Ratio, CoreError> {
+    evaluate_with_cache_and_method(query, db, budget, &mut EvalCache::default(), method)
+}
+
 /// Like [`evaluate`], but threads an explicit [`EvalCache`]: the chain
 /// is explored over interned states and kernel rows are shared across
 /// evaluations. A disabled cache routes through the legacy
@@ -122,10 +135,23 @@ pub fn evaluate_with_cache(
     budget: ChainBudget,
     cache: &mut EvalCache,
 ) -> Result<Ratio, CoreError> {
+    evaluate_with_cache_and_method(query, db, budget, cache, StationaryMethod::default())
+}
+
+/// The fully explicit entry point: caching *and* stationary-method
+/// control ([`evaluate_with_cache`] and [`evaluate_with_method`] are
+/// thin wrappers over this).
+pub fn evaluate_with_cache_and_method(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+    cache: &mut EvalCache,
+    method: StationaryMethod,
+) -> Result<Ratio, CoreError> {
     if !cache.enabled() {
         let chain = build_chain(query, db, budget)?;
         let start = chain.index_of(db).expect("start state was interned");
-        let long_run = long_run_distribution(&chain, start)?;
+        let long_run = long_run_distribution_with(&chain, start, method)?;
         let mut total = Ratio::zero();
         for (i, p) in long_run.iter().enumerate() {
             if !p.is_zero() && query.event.holds(chain.state(i)) {
@@ -141,7 +167,7 @@ pub fn evaluate_with_cache(
         .lookup(db)
         .expect("start state was interned");
     let start = chain.index_of(&start_id).expect("start state in chain");
-    let long_run = long_run_distribution(&chain, start)?;
+    let long_run = long_run_distribution_with(&chain, start, method)?;
     let mut total = Ratio::zero();
     for (i, p) in long_run.iter().enumerate() {
         if !p.is_zero()
@@ -327,6 +353,24 @@ mod tests {
                 let lj = legacy.index_of(db_j).unwrap();
                 assert_eq!(legacy.prob(li, lj), p.clone());
             }
+        }
+    }
+
+    #[test]
+    fn stationary_methods_agree_end_to_end() {
+        for target in [1, 2, 3, 99] {
+            let (q, db) = walk_query(target);
+            assert_eq!(
+                evaluate_with_method(
+                    &q,
+                    &db,
+                    ChainBudget::default(),
+                    StationaryMethod::DenseReference
+                )
+                .unwrap(),
+                evaluate_with_method(&q, &db, ChainBudget::default(), StationaryMethod::SparseGth)
+                    .unwrap(),
+            );
         }
     }
 

@@ -42,4 +42,5 @@ pub mod sampler;
 pub use cache::{CacheConfig, CacheStats, EvalCache};
 pub use error::CoreError;
 pub use event::Event;
+pub use pfq_markov::StationaryMethod;
 pub use query::{DatalogQuery, ForeverQuery};

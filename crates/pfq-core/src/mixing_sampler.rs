@@ -17,7 +17,8 @@ use crate::sample_inflationary::{hoeffding_sample_count, SampleEstimate};
 use crate::sampler::{self, SampleReport, SamplerConfig};
 use crate::{CoreError, ForeverQuery};
 use pfq_data::Database;
-use pfq_markov::mixing::mixing_time;
+use pfq_markov::mixing::mixing_time_exact;
+use pfq_num::Ratio;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -98,6 +99,11 @@ pub fn evaluate_time_average<R: Rng + ?Sized>(
 /// explicit (budgeted) chain — the `T(q, D)` the Theorem 5.6 complexity
 /// bound is parameterized by. Returns `None` when the induced chain is
 /// not ergodic or does not mix within `max_t`.
+///
+/// The tolerance is converted to the *exact* rational value of the given
+/// `f64` and the mixing time computed per §2.3's `TV ≤ ε` in [`Ratio`]
+/// ([`mixing_time_exact`]), so a chain whose TV hits `ε_mix` exactly at
+/// step `t` yields burn-in `t`, not `t + 1`.
 pub fn auto_burn_in(
     query: &ForeverQuery,
     db: &Database,
@@ -105,8 +111,10 @@ pub fn auto_burn_in(
     max_t: usize,
     budget: ChainBudget,
 ) -> Result<Option<usize>, CoreError> {
+    let eps = Ratio::from_f64(epsilon_mix)
+        .ok_or_else(|| CoreError::BadParameter("epsilon_mix must be finite".into()))?;
     let chain = build_chain(query, db, budget)?;
-    Ok(mixing_time(&chain, epsilon_mix, max_t))
+    Ok(mixing_time_exact(&chain, &eps, max_t))
 }
 
 #[cfg(test)]
@@ -195,6 +203,42 @@ mod tests {
         let t = auto_burn_in(&q, &db, 0.05, 1000, ChainBudget::default()).unwrap();
         let t = t.expect("lazy walk is ergodic");
         assert!(t > 0 && t < 100, "t = {t}");
+    }
+
+    #[test]
+    fn auto_burn_in_is_exact_at_the_tv_boundary() {
+        // Two-state lazy flip kernel: stay w.p. 3/4, flip w.p. 1/4, so
+        // TV after t steps is exactly 2^-(t+1) and TV(4) = 1/32 — equal
+        // to ε_mix = 0.03125 (exactly representable in f64). §2.3's
+        // `TV ≤ ε` gives burn-in 4; the old float strict-< path said 5.
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 1, 3],
+                tuple![1, 2, 1],
+                tuple![2, 1, 1],
+                tuple![2, 2, 3],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = Interpretation::new().with(
+            "C",
+            Expr::rel("C")
+                .join(Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        let q = ForeverQuery::new(kernel, Event::tuple_in("C", tuple![1]));
+        assert_eq!(
+            auto_burn_in(&q, &db, 0.03125, 100, ChainBudget::default()).unwrap(),
+            Some(4)
+        );
+        assert!(matches!(
+            auto_burn_in(&q, &db, f64::NAN, 100, ChainBudget::default()),
+            Err(CoreError::BadParameter(_))
+        ));
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! an implementation choice documented in `DESIGN.md`.
 
 use crate::scc::{condensation, Condensation};
-use crate::stationary::{exact_stationary, StationaryError};
-use crate::{linalg, MarkovChain};
+use crate::stationary::{exact_stationary_with, StationaryError, StationaryMethod};
+use crate::{gth, linalg, MarkovChain};
 use pfq_num::Ratio;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -50,10 +50,24 @@ impl std::error::Error for AbsorptionError {}
 /// Exact probability, for each leaf SCC, that a walk from `start` is
 /// eventually absorbed into it. Returned as `(leaf_component_index, p)`
 /// pairs over the condensation `cond`; probabilities sum to 1.
+///
+/// Uses the default method ([`StationaryMethod::SparseGth`]); see
+/// [`absorption_probabilities_with`] to pick explicitly.
 pub fn absorption_probabilities<S: Ord + Clone>(
     chain: &MarkovChain<S>,
     cond: &Condensation,
     start: usize,
+) -> Result<Vec<(usize, Ratio)>, AbsorptionError> {
+    absorption_probabilities_with(chain, cond, start, StationaryMethod::default())
+}
+
+/// [`absorption_probabilities`] with an explicit choice of exact
+/// algorithm. Both methods return bit-identical `Ratio` values.
+pub fn absorption_probabilities_with<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+    cond: &Condensation,
+    start: usize,
+    method: StationaryMethod,
 ) -> Result<Vec<(usize, Ratio)>, AbsorptionError> {
     if start >= chain.len() {
         return Err(AbsorptionError::BadStart(start));
@@ -66,13 +80,6 @@ pub fn absorption_probabilities<S: Ord + Clone>(
         }
         v
     };
-
-    // Transient states: those in non-leaf components.
-    let transient: Vec<usize> = (0..chain.len())
-        .filter(|&i| !is_leaf_comp[cond.component_of[i]])
-        .collect();
-    let t_index: BTreeMap<usize, usize> =
-        transient.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
     // If the start is already inside a leaf, absorption is certain there.
     let start_comp = cond.component_of[start];
@@ -91,6 +98,29 @@ pub fn absorption_probabilities<S: Ord + Clone>(
             })
             .collect());
     }
+
+    match method {
+        StationaryMethod::SparseGth => gth::absorption_sparse(chain, cond, start),
+        StationaryMethod::DenseReference => absorption_dense(chain, cond, start, &is_leaf_comp),
+    }
+}
+
+/// The dense reference implementation, kept as the differential oracle
+/// for [`gth::absorption_sparse`].
+fn absorption_dense<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+    cond: &Condensation,
+    start: usize,
+    is_leaf_comp: &[bool],
+) -> Result<Vec<(usize, Ratio)>, AbsorptionError> {
+    let leaves = cond.leaves();
+
+    // Transient states: those in non-leaf components.
+    let transient: Vec<usize> = (0..chain.len())
+        .filter(|&i| !is_leaf_comp[cond.component_of[i]])
+        .collect();
+    let t_index: BTreeMap<usize, usize> =
+        transient.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
     // (I − Q)·a = b_L, solved once per leaf L, where Q is the
     // transient→transient block and b_L(i) = Σ_{j ∈ L} P(i, j).
@@ -132,6 +162,16 @@ pub fn long_run_distribution<S: Ord + Clone>(
     chain: &MarkovChain<S>,
     start: usize,
 ) -> Result<Vec<Ratio>, AbsorptionError> {
+    long_run_distribution_with(chain, start, StationaryMethod::default())
+}
+
+/// [`long_run_distribution`] with an explicit choice of exact algorithm
+/// for both the absorption solve and the per-leaf stationary solves.
+pub fn long_run_distribution_with<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+    start: usize,
+    method: StationaryMethod,
+) -> Result<Vec<Ratio>, AbsorptionError> {
     if start >= chain.len() {
         return Err(AbsorptionError::BadStart(start));
     }
@@ -140,18 +180,18 @@ pub fn long_run_distribution<S: Ord + Clone>(
 
     // Fast path: irreducible chain (Proposition 5.4).
     if cond.len() == 1 {
-        let pi = exact_stationary(chain).map_err(AbsorptionError::Stationary)?;
+        let pi = exact_stationary_with(chain, method).map_err(AbsorptionError::Stationary)?;
         return Ok(pi);
     }
 
-    let absorb = absorption_probabilities(chain, &cond, start)?;
+    let absorb = absorption_probabilities_with(chain, &cond, start, method)?;
     for (leaf, p_absorb) in absorb {
         if p_absorb.is_zero() {
             continue;
         }
         let members = &cond.components[leaf];
         let (sub, _) = chain.restrict(members);
-        let pi = exact_stationary(&sub).map_err(AbsorptionError::Stationary)?;
+        let pi = exact_stationary_with(&sub, method).map_err(AbsorptionError::Stationary)?;
         for (local, &global) in members.iter().enumerate() {
             result[global] = result[global].add_ref(&p_absorb.mul_ref(&pi[local]));
         }
@@ -261,6 +301,17 @@ mod tests {
             long_run_distribution(&fork(), 99),
             Err(AbsorptionError::BadStart(99))
         ));
+    }
+
+    #[test]
+    fn methods_agree_bit_for_bit() {
+        let c = fork();
+        for start in 0..c.len() {
+            assert_eq!(
+                long_run_distribution_with(&c, start, StationaryMethod::DenseReference).unwrap(),
+                long_run_distribution_with(&c, start, StationaryMethod::SparseGth).unwrap()
+            );
+        }
     }
 
     #[test]

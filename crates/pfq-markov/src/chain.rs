@@ -20,6 +20,30 @@ pub enum ChainError {
         /// The configured state budget.
         limit: usize,
     },
+    /// Two entries of the state list compare equal.
+    DuplicateState {
+        /// Index of the later duplicate.
+        state_index: usize,
+    },
+    /// A transition targets an index outside the state list.
+    TargetOutOfRange {
+        /// Index of the offending state.
+        state_index: usize,
+        /// The out-of-range target index.
+        target: usize,
+        /// Number of states in the chain.
+        len: usize,
+    },
+    /// A listed transition probability is zero or negative (sparse rows
+    /// list only the positive support).
+    NonPositiveProbability {
+        /// Index of the offending state.
+        state_index: usize,
+        /// The transition's target index.
+        target: usize,
+        /// The offending probability (rendered).
+        prob: String,
+    },
     /// The underlying kernel failed.
     Kernel(String),
 }
@@ -34,6 +58,25 @@ impl fmt::Display for ChainError {
             ChainError::StateLimitExceeded { limit } => {
                 write!(f, "state exploration exceeded the limit of {limit}")
             }
+            ChainError::DuplicateState { state_index } => {
+                write!(f, "state {state_index} duplicates an earlier state")
+            }
+            ChainError::TargetOutOfRange {
+                state_index,
+                target,
+                len,
+            } => write!(
+                f,
+                "state {state_index} has a transition to index {target}, but there are only {len} states"
+            ),
+            ChainError::NonPositiveProbability {
+                state_index,
+                target,
+                prob,
+            } => write!(
+                f,
+                "transition {state_index} -> {target} has non-positive probability {prob}"
+            ),
             ChainError::Kernel(msg) => write!(f, "transition kernel failed: {msg}"),
         }
     }
@@ -134,26 +177,43 @@ impl<S: Ord + Clone> MarkovChain<S> {
     }
 
     /// Builds a chain from explicit rows; `rows[i]` lists `(j, p)` pairs.
-    /// Validates stochasticity and index bounds.
+    ///
+    /// Validates everything it documents as input contract — duplicate
+    /// states, index bounds, strict positivity of listed probabilities,
+    /// and row stochasticity — returning the matching [`ChainError`]
+    /// rather than panicking (a validating constructor should not have
+    /// two failure modes).
     pub fn from_rows(states: Vec<S>, rows: Vec<Vec<(usize, Ratio)>>) -> Result<Self, ChainError> {
         assert_eq!(states.len(), rows.len(), "one row per state required");
-        let index: BTreeMap<S, usize> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i))
-            .collect();
-        assert_eq!(index.len(), states.len(), "duplicate states");
+        let mut index: BTreeMap<S, usize> = BTreeMap::new();
+        for (i, s) in states.iter().enumerate() {
+            if index.insert(s.clone(), i).is_some() {
+                return Err(ChainError::DuplicateState { state_index: i });
+            }
+        }
         for (i, row) in rows.iter().enumerate() {
+            for (j, p) in row {
+                if *j >= states.len() {
+                    return Err(ChainError::TargetOutOfRange {
+                        state_index: i,
+                        target: *j,
+                        len: states.len(),
+                    });
+                }
+                if !p.is_positive() {
+                    return Err(ChainError::NonPositiveProbability {
+                        state_index: i,
+                        target: *j,
+                        prob: p.to_string(),
+                    });
+                }
+            }
             let mass: Ratio = row.iter().map(|(_, p)| p).sum();
             if !mass.is_one() {
                 return Err(ChainError::ImproperRow {
                     state_index: i,
                     mass: mass.to_string(),
                 });
-            }
-            for (j, p) in row {
-                assert!(*j < states.len(), "transition target out of range");
-                assert!(p.is_positive(), "non-positive transition probability");
             }
         }
         let mut rows = rows;
@@ -340,6 +400,59 @@ mod tests {
     fn from_rows_rejects_improper() {
         let r = MarkovChain::from_rows(vec![0u32], vec![vec![(0, Ratio::new(1, 2))]]);
         assert!(matches!(r, Err(ChainError::ImproperRow { .. })));
+    }
+
+    #[test]
+    fn from_rows_rejects_duplicate_states() {
+        let row = vec![(0, Ratio::one())];
+        let r = MarkovChain::from_rows(vec![7u32, 7], vec![row.clone(), row]);
+        assert_eq!(
+            r.unwrap_err(),
+            ChainError::DuplicateState { state_index: 1 }
+        );
+    }
+
+    #[test]
+    fn from_rows_rejects_out_of_range_target() {
+        let r = MarkovChain::from_rows(vec![0u32], vec![vec![(3, Ratio::one())]]);
+        assert_eq!(
+            r.unwrap_err(),
+            ChainError::TargetOutOfRange {
+                state_index: 0,
+                target: 3,
+                len: 1
+            }
+        );
+    }
+
+    #[test]
+    fn from_rows_rejects_non_positive_probability() {
+        // Zero-mass entries are not allowed (rows list positive support
+        // only), and negative ones are caught before the mass check can
+        // be fooled by cancellation.
+        let r = MarkovChain::from_rows(
+            vec![0u32, 1],
+            vec![
+                vec![(0, Ratio::zero()), (1, Ratio::one())],
+                vec![(1, Ratio::one())],
+            ],
+        );
+        assert_eq!(
+            r.unwrap_err(),
+            ChainError::NonPositiveProbability {
+                state_index: 0,
+                target: 0,
+                prob: "0".to_string()
+            }
+        );
+        let r = MarkovChain::from_rows(
+            vec![0u32],
+            vec![vec![(0, Ratio::new(-1, 2)), (0, Ratio::new(3, 2))]],
+        );
+        assert!(matches!(
+            r,
+            Err(ChainError::NonPositiveProbability { state_index: 0, .. })
+        ));
     }
 
     #[test]

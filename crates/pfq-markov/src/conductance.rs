@@ -45,56 +45,59 @@ pub fn is_lazy<S: Ord + Clone>(chain: &MarkovChain<S>) -> bool {
 }
 
 /// The exact conductance `Φ = min_{S: 0 < π(S) ≤ 1/2} Q(S, S̄)/π(S)`
-/// where `Q(S, S̄) = Σ_{i∈S, j∉S} π_i·P(i, j)`.
+/// where `Q(S, S̄) = Σ_{i∈S, j∉S} π_i·P(i, j)`, computed entirely in
+/// [`Ratio`] — the subset filter `π(S) ≤ 1/2` and the minimisation are
+/// exact comparisons, so boundary cuts are classified correctly where
+/// f64 flows could mis-rank two near-equal cuts.
 ///
 /// Enumerates all `2ⁿ` subsets; panics if the chain has more than 25
 /// states (use sampling-based estimates beyond that). Returns `None` if
 /// the chain is not irreducible.
-pub fn conductance<S: Ord + Clone>(chain: &MarkovChain<S>) -> Option<f64> {
+pub fn conductance<S: Ord + Clone>(chain: &MarkovChain<S>) -> Option<Ratio> {
     let n = chain.len();
     assert!(
         n <= 25,
         "exact conductance enumerates 2^n subsets; n = {n} is too large"
     );
-    let pi: Vec<f64> = exact_stationary(chain)
-        .ok()?
-        .iter()
-        .map(Ratio::to_f64)
-        .collect();
+    let pi = exact_stationary(chain).ok()?;
     // Precompute edge flows π_i·P(i,j).
-    let flows: Vec<Vec<(usize, f64)>> = (0..n)
+    let flows: Vec<Vec<(usize, Ratio)>> = (0..n)
         .map(|i| {
             chain
                 .row(i)
                 .iter()
-                .map(|(j, p)| (*j, pi[i] * p.to_f64()))
+                .map(|(j, p)| (*j, pi[i].mul_ref(p)))
                 .collect()
         })
         .collect();
 
-    let mut best = f64::INFINITY;
+    let half = Ratio::new(1, 2);
+    let mut best: Option<Ratio> = None;
     // Iterate proper non-empty subsets; by symmetry of the minimization
     // over S vs S̄ we restrict to π(S) ≤ 1/2 explicitly.
     for mask in 1u32..((1u32 << n) - 1) {
-        let pi_s: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| pi[i]).sum();
-        if pi_s <= 0.0 || pi_s > 0.5 + 1e-12 {
+        let pi_s: Ratio = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| pi[i].clone())
+            .sum();
+        if !pi_s.is_positive() || pi_s > half {
             continue;
         }
-        let mut q = 0.0;
+        let mut q = Ratio::zero();
         for i in (0..n).filter(|&i| mask >> i & 1 == 1) {
-            for &(j, f) in &flows[i] {
-                if mask >> j & 1 == 0 {
-                    q += f;
+            for (j, f) in &flows[i] {
+                if mask >> *j & 1 == 0 {
+                    q = q.add_ref(f);
                 }
             }
         }
-        best = best.min(q / pi_s);
+        let cut = q.div_ref(&pi_s);
+        best = Some(match best {
+            None => cut,
+            Some(b) => b.min(cut),
+        });
     }
-    if best.is_finite() {
-        Some(best)
-    } else {
-        None
-    }
+    best
 }
 
 /// The Jerrum–Sinclair upper bound `t(ε) ≤ (2/Φ²)·ln(1/(ε·π_min))` for
@@ -105,10 +108,13 @@ pub fn cheeger_mixing_bound<S: Ord + Clone>(chain: &MarkovChain<S>, epsilon: f64
     if !is_lazy(chain) || is_reversible(chain) != Some(true) {
         return None;
     }
-    let phi = conductance(chain)?;
-    if phi <= 0.0 {
+    let phi_exact = conductance(chain)?;
+    if !phi_exact.is_positive() {
         return None;
     }
+    // The bound itself involves ln(), so f64 enters only here — after
+    // the conductance minimisation has been decided exactly.
+    let phi = phi_exact.to_f64();
     let pi_min = exact_stationary(chain)
         .ok()?
         .iter()
@@ -143,10 +149,33 @@ mod tests {
     #[test]
     fn two_state_conductance_is_flip_probability() {
         // π = (1/2, 1/2); the only cut has Q = 1/2·q, π(S) = 1/2 → Φ = q.
-        let c = lazy_flip(1, 4);
-        assert!((conductance(&c).unwrap() - 0.25).abs() < 1e-12);
-        let c = lazy_flip(1, 2);
-        assert!((conductance(&c).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(conductance(&lazy_flip(1, 4)), Some(r(1, 4)));
+        assert_eq!(conductance(&lazy_flip(1, 2)), Some(r(1, 2)));
+    }
+
+    #[test]
+    fn conductance_is_exact_not_float() {
+        // Regression for the documented-exact-but-computed-in-f64 bug:
+        // with flip probability 1/3 the conductance is exactly 1/3, a
+        // value no f64 can represent. The exact path returns the
+        // canonical rational, equal to Ratio::new(1, 3) bit for bit.
+        assert_eq!(conductance(&lazy_flip(1, 3)), Some(r(1, 3)));
+        // And flows stay exact through a 3-state chain whose cut values
+        // involve thirds: lazy walk on a triangle.
+        let c = MarkovChain::from_rows(
+            vec![0u32, 1, 2],
+            (0..3)
+                .map(|i| {
+                    (0..3)
+                        .map(|j| (j, if i == j { r(1, 2) } else { r(1, 4) }))
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        // π uniform = 1/3; best cut S = {i}: Q = 1/3·(1/4+1/4) = 1/6,
+        // π(S) = 1/3 → Φ = 1/2.
+        assert_eq!(conductance(&c), Some(r(1, 2)));
     }
 
     #[test]
@@ -245,7 +274,7 @@ mod tests {
         .unwrap();
         let phi_path = conductance(&lazy_path).unwrap();
         let phi_clique = conductance(&lazy_clique).unwrap();
-        assert!(phi_path < phi_clique, "{phi_path} vs {phi_clique}");
+        assert!(phi_path < phi_clique, "{phi_path} vs {phi_clique}"); // exact Ord
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   kernel from a set of start states;
 //! * [`scc`] — Tarjan SCCs, the condensation DAG, irreducibility, period,
 //!   and ergodicity checks;
-//! * [`stationary`] — stationary distributions, exactly (rational
-//!   Gaussian elimination) and numerically (lazy-chain power iteration);
+//! * [`stationary`] — stationary distributions, exactly (sparse GTH by
+//!   default, dense rational Gaussian elimination as the reference
+//!   oracle — select with [`StationaryMethod`]) and numerically
+//!   (lazy-chain power iteration);
+//! * [`gth`] — the sparse, subtraction-free Grassmann–Taksar–Heyman
+//!   state-elimination solver behind the default exact path;
 //! * [`absorption`] — exact absorption probabilities into the closed
 //!   (leaf) SCCs and the resulting long-run time-average distribution,
 //!   i.e. the Theorem 5.5 algorithm;
@@ -25,6 +29,7 @@
 pub mod absorption;
 pub mod chain;
 pub mod conductance;
+pub mod gth;
 pub mod linalg;
 pub mod mixing;
 pub mod scc;
@@ -33,3 +38,4 @@ pub mod walk;
 
 pub use chain::{ChainError, MarkovChain};
 pub use scc::Condensation;
+pub use stationary::StationaryMethod;

@@ -21,13 +21,19 @@ pub fn tv_distance_exact(a: &[Ratio], b: &[Ratio]) -> Ratio {
     sum.mul_ref(&Ratio::new(1, 2))
 }
 
-/// Computes the exact mixing time `t(ε)` of an *ergodic* chain by
+/// Estimates the mixing time `t(ε)` of an *ergodic* chain in f64 by
 /// explicitly evolving the distribution from every start state until all
 /// are within TV-distance `ε` of the stationary distribution.
 ///
 /// Returns `None` if the chain is not ergodic or `max_t` is exceeded.
 /// Cost is `O(max_t · n²)` — this is an analysis tool for experiments,
 /// not a production estimator.
+///
+/// **Caveat**: this float version stops at strict `TV < ε`, so when the
+/// exact TV distance *equals* `ε` at some step it answers one step later
+/// than §2.3's `t(ε) = min{t : TV ≤ ε}`. Use [`mixing_time_exact`]
+/// wherever the answer feeds an exactness-sensitive computation (e.g.
+/// the burn-in `T(q, D)` of Theorem 5.6 sampling).
 pub fn mixing_time<S: Ord + Clone>(
     chain: &MarkovChain<S>,
     epsilon: f64,
@@ -65,6 +71,48 @@ pub fn mixing_time<S: Ord + Clone>(
     None
 }
 
+/// The exact mixing time `t(ε)` of an *ergodic* chain, per the paper's
+/// §2.3 definition: the smallest `t` such that the distribution after
+/// `t` steps is within TV-distance **≤** `ε` of stationary for every
+/// start state — computed entirely in [`Ratio`], so a chain whose TV
+/// hits `ε` exactly at step `t` answers `t`, not `t + 1` (the float
+/// [`mixing_time`] is off by one there).
+///
+/// Returns `None` if the chain is not ergodic or `max_t` is exceeded.
+/// Cost is `O(max_t · n²)` rational operations.
+pub fn mixing_time_exact<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+    epsilon: &Ratio,
+    max_t: usize,
+) -> Option<usize> {
+    if !scc::is_ergodic(chain) {
+        return None;
+    }
+    let pi = exact_stationary(chain).ok()?;
+    let n = chain.len();
+    let mut dists: Vec<Vec<Ratio>> = (0..n)
+        .map(|s| {
+            let mut d = vec![Ratio::zero(); n];
+            d[s] = Ratio::one();
+            d
+        })
+        .collect();
+    for t in 0..=max_t {
+        let worst = dists
+            .iter()
+            .map(|d| tv_distance_exact(d, &pi))
+            .max()
+            .unwrap_or_else(Ratio::zero);
+        if worst <= *epsilon {
+            return Some(t);
+        }
+        for d in &mut dists {
+            *d = chain.step_distribution(d);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,19 +144,55 @@ mod tests {
         assert_eq!(mixing_time(&c, 1e-9, 100), Some(1));
     }
 
-    #[test]
-    fn lazy_two_state_mixes_geometrically() {
-        // Lazy flip: stay w.p. 1/2, flip w.p. 1/2. TV halves per step:
-        // after t steps TV = 2^-(t+1), so t(0.01) = 6.
-        let c = MarkovChain::from_rows(
+    /// Genuinely lazy flip chain: stay w.p. 3/4, flip w.p. 1/4. The
+    /// second eigenvalue is λ = 1 − 2q = 1/2, so from a point mass
+    /// TV after t steps is exactly 2^−(t+1).
+    fn lazy_flip_quarter() -> MarkovChain<u32> {
+        MarkovChain::from_rows(
             vec![0u32, 1],
             vec![
-                vec![(0, r(1, 2)), (1, r(1, 2))],
-                vec![(0, r(1, 2)), (1, r(1, 2))],
+                vec![(0, r(3, 4)), (1, r(1, 4))],
+                vec![(0, r(1, 4)), (1, r(3, 4))],
             ],
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn lazy_two_state_mixes_geometrically() {
+        // TV(t) = 2^-(t+1): the first t with 2^-(t+1) ≤ 0.01 is t = 6
+        // (2^-7 = 1/128), not t = 1 — a memoryless chain with identical
+        // rows (the old test fixture) mixes in one step and proves
+        // nothing about geometric decay.
+        let c = lazy_flip_quarter();
+        assert_eq!(mixing_time(&c, 0.01, 100), Some(6));
+        assert_eq!(mixing_time_exact(&c, &r(1, 100), 100), Some(6));
+    }
+
+    #[test]
+    fn exact_mixing_time_is_inclusive_at_the_boundary() {
+        // §2.3: t(ε) = min{t : TV ≤ ε}. With ε = 1/32 the lazy flip
+        // chain has TV(4) = 2^-5 = 1/32 exactly, so the exact answer is
+        // 4. The float path demands strict TV < ε (1/32 = 0.03125 is
+        // exactly representable, so no rounding rescues it) and answers
+        // 5 — the off-by-one this regression test pins down.
+        let c = lazy_flip_quarter();
+        assert_eq!(mixing_time_exact(&c, &r(1, 32), 100), Some(4));
+        assert_eq!(mixing_time(&c, 0.03125, 100), Some(5));
+    }
+
+    #[test]
+    fn exact_mixing_time_handles_non_ergodic_and_budget() {
+        let periodic = MarkovChain::from_rows(
+            vec![0u32, 1],
+            vec![vec![(1, Ratio::one())], vec![(0, Ratio::one())]],
+        )
         .unwrap();
-        assert_eq!(mixing_time(&c, 0.01, 100), Some(1));
+        assert_eq!(mixing_time_exact(&periodic, &r(1, 100), 1000), None);
+        assert_eq!(
+            mixing_time_exact(&lazy_flip_quarter(), &r(1, 1024), 3),
+            None
+        );
     }
 
     #[test]

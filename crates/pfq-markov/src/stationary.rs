@@ -1,9 +1,47 @@
-//! Stationary distributions: exact (Gaussian elimination, the
+//! Stationary distributions: exact (sparse GTH elimination by default,
+//! dense Gaussian elimination as the reference oracle — both are the
 //! Proposition 5.4 route) and numeric (power iteration on the lazy chain).
 
-use crate::{linalg, scc, MarkovChain};
+use crate::{gth, linalg, scc, MarkovChain};
 use pfq_num::Ratio;
 use std::fmt;
+
+/// Which exact algorithm computes stationary/absorption quantities.
+///
+/// Both are exact over [`Ratio`] and return bit-identical results; they
+/// differ only in cost. [`SparseGth`](StationaryMethod::SparseGth) is the
+/// default everywhere; [`DenseReference`](StationaryMethod::DenseReference)
+/// is kept as the differential-testing oracle and for A/B timing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StationaryMethod {
+    /// Dense rational Gaussian elimination ([`crate::linalg`]):
+    /// `O(n³)` time, `O(n²)` memory regardless of sparsity.
+    DenseReference,
+    /// Sparse subtraction-free GTH state elimination ([`crate::gth`]):
+    /// near-linear on the bounded-row-width chains datalog kernels induce.
+    #[default]
+    SparseGth,
+}
+
+impl StationaryMethod {
+    /// Parses a CLI spelling: `"dense"` or `"gth"`.
+    pub fn parse(s: &str) -> Option<StationaryMethod> {
+        match s {
+            "dense" => Some(StationaryMethod::DenseReference),
+            "gth" => Some(StationaryMethod::SparseGth),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StationaryMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StationaryMethod::DenseReference => write!(f, "dense"),
+            StationaryMethod::SparseGth => write!(f, "gth"),
+        }
+    }
+}
 
 /// Errors from stationary-distribution computation.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,8 +77,33 @@ impl std::error::Error for StationaryError {}
 /// For a finite irreducible chain `π` exists regardless of periodicity
 /// and equals the Cesàro (time-average) limit — precisely the paper's
 /// `Pr(s)` for forever-queries.
-#[allow(clippy::needless_range_loop)] // the balance equations are naturally index-driven
+///
+/// Uses the default method ([`StationaryMethod::SparseGth`]); see
+/// [`exact_stationary_with`] to pick explicitly.
 pub fn exact_stationary<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+) -> Result<Vec<Ratio>, StationaryError> {
+    exact_stationary_with(chain, StationaryMethod::default())
+}
+
+/// [`exact_stationary`] with an explicit choice of exact algorithm.
+/// Both methods return bit-identical `Ratio` vectors.
+pub fn exact_stationary_with<S: Ord + Clone>(
+    chain: &MarkovChain<S>,
+    method: StationaryMethod,
+) -> Result<Vec<Ratio>, StationaryError> {
+    match method {
+        StationaryMethod::DenseReference => exact_stationary_dense(chain),
+        StationaryMethod::SparseGth => gth::stationary_sparse(chain),
+    }
+}
+
+/// The dense reference implementation: builds the full balance-equation
+/// system and solves it by rational Gaussian elimination. `O(n³)` time
+/// and `O(n²)` memory — kept as the differential oracle for
+/// [`crate::gth`], not for production use.
+#[allow(clippy::needless_range_loop)] // the balance equations are naturally index-driven
+pub fn exact_stationary_dense<S: Ord + Clone>(
     chain: &MarkovChain<S>,
 ) -> Result<Vec<Ratio>, StationaryError> {
     if !scc::is_irreducible(chain) {
@@ -162,6 +225,35 @@ mod tests {
     fn single_state() {
         let c = MarkovChain::from_rows(vec![0u32], vec![vec![(0, Ratio::one())]]).unwrap();
         assert_eq!(exact_stationary(&c).unwrap(), vec![Ratio::one()]);
+    }
+
+    #[test]
+    fn methods_agree_bit_for_bit() {
+        let c = two_state();
+        assert_eq!(
+            exact_stationary_with(&c, StationaryMethod::DenseReference).unwrap(),
+            exact_stationary_with(&c, StationaryMethod::SparseGth).unwrap()
+        );
+    }
+
+    #[test]
+    fn method_parse_and_display_round_trip() {
+        assert_eq!(
+            StationaryMethod::parse("dense"),
+            Some(StationaryMethod::DenseReference)
+        );
+        assert_eq!(
+            StationaryMethod::parse("gth"),
+            Some(StationaryMethod::SparseGth)
+        );
+        assert_eq!(StationaryMethod::parse("nope"), None);
+        for m in [
+            StationaryMethod::DenseReference,
+            StationaryMethod::SparseGth,
+        ] {
+            assert_eq!(StationaryMethod::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(StationaryMethod::default(), StationaryMethod::SparseGth);
     }
 
     #[test]

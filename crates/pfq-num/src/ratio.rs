@@ -264,6 +264,35 @@ impl Ratio {
         format!("{sign}{int_part}.{frac_part}")
     }
 
+    /// The *exact* rational value of a finite `f64` (every finite float
+    /// is `±m·2ᵉ` for integers `m`, `e`). Returns `None` for NaN and
+    /// infinities. `from_f64(0.5) == 1/2` exactly, while
+    /// `from_f64(0.1)` is the 55-digit-denominator rational the float
+    /// actually denotes — use this when a float-typed tolerance must
+    /// enter an exact computation without rounding.
+    pub fn from_f64(x: f64) -> Option<Ratio> {
+        if !x.is_finite() {
+            return None;
+        }
+        let bits = x.to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Subnormals have an implicit leading 0 and exponent −1074;
+        // normals an implicit leading 1 and exponent `exp_bits − 1075`.
+        let (mantissa, exp) = if exp_bits == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let mut r = Ratio::from_parts(BigInt::from(mantissa), BigUint::one());
+        if exp >= 0 {
+            r = r.mul_ref(&Ratio::from_integer(2).pow(exp as u64));
+        } else {
+            r = r.mul_ref(&Ratio::new(1, 2).pow((-exp) as u64));
+        }
+        Some(if x.is_sign_negative() { r.neg_ref() } else { r })
+    }
+
     /// Parses `"a"`, `"-a"`, `"a/b"`, or `"-a/b"` with decimal components.
     pub fn parse(s: &str) -> Option<Ratio> {
         let (neg, rest) = match s.strip_prefix('-') {
@@ -421,6 +450,37 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = r(1, 0);
+    }
+
+    #[test]
+    fn from_f64_exact_values() {
+        assert_eq!(Ratio::from_f64(0.5), Some(r(1, 2)));
+        assert_eq!(Ratio::from_f64(-0.75), Some(r(-3, 4)));
+        assert_eq!(Ratio::from_f64(0.0), Some(Ratio::zero()));
+        assert_eq!(Ratio::from_f64(-0.0), Some(Ratio::zero()));
+        assert_eq!(Ratio::from_f64(3.0), Some(Ratio::from_integer(3)));
+        assert_eq!(Ratio::from_f64(0.03125), Some(r(1, 32)));
+        // 0.1 is NOT 1/10 as a double; from_f64 recovers its true value.
+        assert_eq!(
+            Ratio::from_f64(0.1),
+            Ratio::parse("3602879701896397/36028797018963968")
+        );
+        assert_eq!(Ratio::from_f64(f64::NAN), None);
+        assert_eq!(Ratio::from_f64(f64::INFINITY), None);
+        assert_eq!(Ratio::from_f64(f64::NEG_INFINITY), None);
+        // Subnormals round-trip too.
+        let tiny = f64::from_bits(1); // smallest positive subnormal, 2^-1074
+        assert_eq!(Ratio::from_f64(tiny), Some(r(1, 2).pow(1074)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_f64_roundtrip(a in -10000i64..10000, b in 1i64..10000) {
+            let x = (a as f64) / (b as f64);
+            let q = Ratio::from_f64(x).unwrap();
+            // Exactness: converting back to f64 is lossless.
+            prop_assert_eq!(q.to_f64().to_bits(), x.to_bits());
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("measured mixing time t(0.05) = {t} steps");
     if chain.len() <= 25 {
         if let Some(phi) = conductance::conductance(&chain) {
-            println!("conductance Φ = {phi:.4}");
+            println!("conductance Φ = {phi} (≈ {:.4})", phi.to_f64());
         }
     }
 

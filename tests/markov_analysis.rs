@@ -78,7 +78,8 @@ fn dumbbell_bottleneck_certified_by_conductance() {
         exact_noninflationary::build_chain(&q_slow, &db_slow, ChainBudget::default()).unwrap();
     let phi_fast = conductance::conductance(&fast).unwrap();
     let phi_slow = conductance::conductance(&slow).unwrap();
-    assert!(phi_slow < phi_fast / 2.0, "{phi_slow} vs {phi_fast}");
+    let half_fast = phi_fast.div_ref(&Ratio::from_integer(2));
+    assert!(phi_slow < half_fast, "{phi_slow} vs {phi_fast}");
     let t_fast = mixing::mixing_time(&fast, 0.05, 100_000).unwrap();
     let t_slow = mixing::mixing_time(&slow, 0.05, 100_000).unwrap();
     assert!(t_slow > t_fast);
