@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive] [--stats]
+//! pfq fuzz [--seed S] [--programs N] [--max-size K] [--paths LIST] [--smoke]
 //! pfq help
 //! ```
 
@@ -10,13 +11,32 @@ use pfq_cli::RunOptions;
 use pfq_core::StationaryMethod;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 pfq — probabilistic fixpoint and Markov chain queries (PODS 2010)
 
 USAGE:
     pfq run <file.pfq> [OPTIONS]    evaluate every @query directive in the file
+    pfq fuzz [OPTIONS]              differential-fuzz the evaluator paths
     pfq help                        show this message
+
+OPTIONS (fuzzing):
+    --seed <S>         campaign seed (default: 42); case i derives from (S, i),
+                       so a campaign is reproducible from its seed alone
+    --programs <N>     how many programs to generate and check (default: 200)
+    --max-size <K>     generator size: max rules per program, other knobs
+                       scale with it (default: 4)
+    --paths <LIST>     comma-separated evaluator-path families to cross-check:
+                       inflationary, sampling, noninflationary, partition,
+                       burn-in, or all (default: all)
+    --time-budget <SECS>
+                       stop the campaign after this many seconds
+    --smoke            CI smoke mode: fixed seed 42, 200 programs, 60 s budget
+    --fault <NAME>     seed a known-bad evaluator mutant (harness self-check):
+                       drop-frontier-merge or burn-in-off-by-one
+    --out <FILE>       where to write the shrunk .pfq reproducer on divergence
+                       (default: pfq-fuzz-reproducer.pfq)
 
 OPTIONS (sampling queries):
     --threads <N>      worker threads for the sampling engine (default: all cores)
@@ -36,8 +56,15 @@ OPTIONS (exact queries):
                        return bit-identical results (A/B timing knob)
 
 FILE FORMAT (see the crate docs for details):
-    @relation E(i, j, p) { (v, w, 1/2) (v, u, 1/2) }
-    @program { C(v).  C2(X!, Y) @P :- C(X), E(X, Y, P).  C(Y) :- C2(X, Y). }
+    @relation E(i, j, p) {
+        (v, w, 1/2)
+        (v, u, 1/2)
+    }
+    @program {
+        C(v).
+        C2(X!, Y) @P :- C(X), E(X, Y, P).
+        C(Y) :- C2(X, Y).
+    }
     @query inflationary exact event C(w)
     @query inflationary sample epsilon 0.05 delta 0.05 seed 7 event C(w)
     @query noninflationary exact event C(w)
@@ -90,6 +117,88 @@ fn parse_run_args(args: &[String]) -> Result<(String, RunOptions), String> {
     Ok((path, options))
 }
 
+/// Parses `fuzz`'s arguments into a campaign config plus the reproducer
+/// output path.
+fn parse_fuzz_args(args: &[String]) -> Result<(pfq_fuzz::FuzzConfig, String), String> {
+    let mut cfg = pfq_fuzz::FuzzConfig::default();
+    let mut out = "pfq-fuzz-reproducer.pfq".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed value: {e}"))?;
+            }
+            "--programs" => {
+                cfg.programs = value("--programs")?
+                    .parse()
+                    .map_err(|e| format!("bad --programs value: {e}"))?;
+            }
+            "--max-size" => {
+                let size: usize = value("--max-size")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-size value: {e}"))?;
+                cfg.gen = pfq_fuzz::GenConfig::sized(size);
+            }
+            "--paths" => {
+                let v = value("--paths")?;
+                cfg.oracle.paths = pfq_fuzz::PathSet::parse(&v).ok_or_else(|| {
+                    format!(
+                        "bad --paths value {v:?} (expected a comma-separated subset of \
+                         inflationary, sampling, noninflationary, partition, burn-in, or all)"
+                    )
+                })?;
+            }
+            "--time-budget" => {
+                let secs: u64 = value("--time-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --time-budget value: {e}"))?;
+                cfg.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--smoke" => {
+                cfg.seed = 42;
+                cfg.programs = 200;
+                cfg.time_budget = Some(Duration::from_secs(60));
+            }
+            "--fault" => {
+                let v = value("--fault")?;
+                cfg.fault = Some(pfq_fuzz::Fault::parse(&v).ok_or_else(|| {
+                    format!(
+                        "bad --fault value {v:?} (expected drop-frontier-merge \
+                         or burn-in-off-by-one)"
+                    )
+                })?);
+            }
+            "--out" => out = value("--out")?,
+            flag => return Err(format!("unknown option {flag:?}")),
+        }
+    }
+    Ok((cfg, out))
+}
+
+/// Runs a fuzzing campaign: prints the report, writes the shrunk
+/// reproducer on divergence, and maps the outcome to an exit code.
+fn run_fuzz(cfg: &pfq_fuzz::FuzzConfig, out: &str) -> ExitCode {
+    let report = pfq_fuzz::run_campaign(cfg);
+    print!("{report}");
+    match &report.divergence {
+        None => ExitCode::SUCCESS,
+        Some(d) => {
+            match std::fs::write(out, &d.reproducer) {
+                Ok(()) => eprintln!("reproducer written to {out}"),
+                Err(e) => eprintln!("error: could not write reproducer to {out}: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -112,6 +221,13 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("fuzz") => match parse_fuzz_args(&args[1..]) {
+            Ok((cfg, out)) => run_fuzz(&cfg, &out),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -169,5 +285,48 @@ mod tests {
         assert!(
             parse_run_args(&["q.pfq".into(), "--stationary-method".into(), "x".into()]).is_err()
         );
+    }
+
+    #[test]
+    fn fuzz_args_parse() {
+        let args: Vec<String> = [
+            "--seed",
+            "7",
+            "--programs",
+            "50",
+            "--max-size",
+            "6",
+            "--paths",
+            "inflationary,sampling",
+            "--time-budget",
+            "30",
+            "--out",
+            "r.pfq",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (cfg, out) = parse_fuzz_args(&args).unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.programs, 50);
+        assert_eq!(cfg.gen.max_rules, 6);
+        assert!(cfg.oracle.paths.inflationary && cfg.oracle.paths.sampling);
+        assert!(!cfg.oracle.paths.noninflationary);
+        assert_eq!(cfg.time_budget, Some(Duration::from_secs(30)));
+        assert_eq!(out, "r.pfq");
+
+        let (smoke, _) = parse_fuzz_args(&["--smoke".into()]).unwrap();
+        assert_eq!(smoke.seed, 42);
+        assert_eq!(smoke.programs, 200);
+        assert_eq!(smoke.time_budget, Some(Duration::from_secs(60)));
+
+        let (faulted, _) =
+            parse_fuzz_args(&["--fault".into(), "burn-in-off-by-one".into()]).unwrap();
+        assert_eq!(faulted.fault, Some(pfq_fuzz::Fault::BurnInOffByOne));
+
+        assert!(parse_fuzz_args(&["--fault".into(), "x".into()]).is_err());
+        assert!(parse_fuzz_args(&["--paths".into(), "bogus".into()]).is_err());
+        assert!(parse_fuzz_args(&["--programs".into()]).is_err());
+        assert!(parse_fuzz_args(&["stray".into()]).is_err());
     }
 }

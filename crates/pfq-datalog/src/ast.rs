@@ -119,6 +119,22 @@ impl Head {
         self.keys.iter().all(|&k| k)
     }
 
+    /// Whether this head survives a print → parse round trip. A
+    /// probabilistic head with no `@` weight is recognizable only from
+    /// its `!` marks, and the printer can place those only on keyed
+    /// *variable* positions — so a weightless head whose keys all sit
+    /// on constants (or nowhere) prints exactly like a deterministic
+    /// head and cannot be expressed in the concrete syntax.
+    pub fn is_renderable(&self) -> bool {
+        self.is_deterministic()
+            || self.weight.is_some()
+            || self
+                .terms
+                .iter()
+                .zip(&self.keys)
+                .any(|(t, &k)| k && t.as_var().is_some())
+    }
+
     /// The key-position variables, in order.
     pub fn key_vars(&self) -> Vec<&str> {
         self.terms
@@ -311,6 +327,10 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
+            // An integral Ratio displays as a bare integer, which the
+            // parser would read back as Value::Int — keep the `/den`
+            // suffix so `parse(render(t)) == t` for every constant.
+            Term::Const(Value::Ratio(r)) => write!(f, "{}/{}", r.numer(), r.denom()),
             Term::Const(c) => write!(f, "{c:?}"),
         }
     }
@@ -332,13 +352,17 @@ impl fmt::Display for Atom {
 impl fmt::Display for Head {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}(", self.relation)?;
-        let fully_keyed = self.is_deterministic();
+        // Suppress `!` marks only on genuinely deterministic heads (no
+        // weight): a fully keyed head *with* a weight, e.g. `H(X!) @P`,
+        // must keep its marks, or it would reparse with no key
+        // positions — a different repair-key grouping.
+        let implicit = self.is_deterministic() && self.weight.is_none();
         for (i, t) in self.terms.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{t}")?;
-            if self.keys[i] && !fully_keyed && t.as_var().is_some() {
+            if self.keys[i] && !implicit && t.as_var().is_some() {
                 write!(f, "!")?;
             }
         }
@@ -529,5 +553,57 @@ mod tests {
         assert!(s.contains("C2(X!, Y) @P :- C(X), E(X, Y, P)."));
         assert!(s.contains("C(\"v\")."));
         assert!(s.contains("C(Y) :- C2(X, Y)."));
+    }
+
+    /// Regression: an integral Ratio constant used to render as a bare
+    /// integer (`Ratio::new(2, 1)` → `2`), so re-parsing produced
+    /// `Value::Int(2)` and `parse(render(ast)) != ast`.
+    #[test]
+    fn integral_ratio_constant_roundtrips() {
+        let t = Term::val(Value::ratio(pfq_num::Ratio::new(2, 1)));
+        assert_eq!(t.to_string(), "2/1");
+        let rule = Rule::fact("F", [Value::ratio(pfq_num::Ratio::new(2, 1))]);
+        let p = Program::new(vec![rule]).unwrap();
+        let reparsed = crate::parse_program(&p.to_string()).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    /// Regression: a fully keyed head *with* a weight (`H(X!) @P`) used
+    /// to print without its `!` marks, so re-parsing yielded
+    /// `keys = [false]` — a different repair-key grouping.
+    #[test]
+    fn fully_keyed_weighted_head_roundtrips() {
+        let r = Rule::new(
+            Head::probabilistic("H", vec![Term::var("X")], vec![true], Some("P".into())),
+            vec![Atom::new("R", vec![Term::var("X"), Term::var("P")])],
+        );
+        assert_eq!(r.to_string(), "H(X!) @P :- R(X, P).");
+        let p = Program::new(vec![r]).unwrap();
+        let reparsed = crate::parse_program(&p.to_string()).unwrap();
+        assert_eq!(reparsed, p);
+        // Whole-relation choice heads (no key vars) still print bare.
+        let whole = crate::parse_program("H(X) @P :- R(X, P).").unwrap();
+        assert_eq!(whole.to_string().trim(), "H(X) @P :- R(X, P).");
+        assert_eq!(crate::parse_program(&whole.to_string()).unwrap(), whole);
+    }
+
+    /// A weightless probabilistic head with no keyed variable prints
+    /// exactly like a deterministic head — `is_renderable` flags it so
+    /// generators and shrinkers can avoid the unprintable corner.
+    #[test]
+    fn renderability_detects_the_unprintable_head() {
+        let unprintable = Head::probabilistic("H", vec![Term::var("X")], vec![false], None);
+        assert!(!unprintable.is_renderable());
+        let weighted =
+            Head::probabilistic("H", vec![Term::var("X")], vec![false], Some("P".into()));
+        assert!(weighted.is_renderable());
+        let marked = Head::probabilistic(
+            "H",
+            vec![Term::var("X"), Term::var("Y")],
+            vec![true, false],
+            None,
+        );
+        assert!(marked.is_renderable());
+        assert!(Head::deterministic("H", vec![Term::var("X")]).is_renderable());
     }
 }

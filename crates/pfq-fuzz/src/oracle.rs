@@ -1,0 +1,647 @@
+//! The differential and metamorphic oracle matrix.
+//!
+//! Each generated case is pushed through every configured evaluator
+//! path and the results are cross-checked:
+//!
+//! | check | paths compared | property |
+//! |---|---|---|
+//! | `MassConservation` | legacy exact inflationary | fixpoint distribution sums to exactly 1 |
+//! | `Monotonicity` | legacy exact inflationary | every fixpoint ⊇ the prepared input (inflationary §3.3) |
+//! | `MemoDifferential` | legacy vs [`FixpointMemo`] | bit-identical distributions |
+//! | `CacheReuse` | fresh memo vs campaign-shared memo | intern-id independence: same distribution |
+//! | `SamplerBound` | exact vs Thm 4.3 sampler | `\|p̂ − p\| ≤ ε` at confidence `1 − δ` (deterministic seed) |
+//! | `ThreadInvariance` | sampler at 1 vs 3 threads | bit-identical estimates for the same seed |
+//! | `StationaryDifferential` | dense GE vs sparse GTH (Thm 5.5) | bit-identical long-run probabilities |
+//! | `PartitionDifferential` | §5.1 partitioned vs whole chain | identical exact probabilities (negation-free only) |
+//! | `BurnInConsistency` | Thm 5.6 restart sampler vs exact `P^B` mass | `\|p̂ − p_B\| ≤ ε` at confidence `1 − δ` |
+//!
+//! Budget exhaustion on a path is a *skip*, not a failure; any other
+//! disagreement (including one path erroring where its twin succeeds)
+//! is a divergence.
+
+use crate::gen::FuzzCase;
+use crate::mutants::{self, Fault};
+use pfq_core::exact_noninflationary::{self, ChainBudget};
+use pfq_core::sampler::SamplerConfig;
+use pfq_core::{mixing_sampler, partition, sample_inflationary, DatalogQuery, StationaryMethod};
+use pfq_data::Database;
+use pfq_datalog::inflationary::{enumerate_fixpoints, enumerate_fixpoints_memo, FixpointMemo};
+use pfq_datalog::{eval, DatalogError};
+use pfq_num::{Distribution, Ratio};
+
+/// Identifies one oracle check — the unit of pass/skip/fail accounting
+/// and the thing a shrink run must keep reproducing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckId {
+    /// Total fixpoint mass is exactly 1.
+    MassConservation,
+    /// Every fixpoint database contains the prepared input.
+    Monotonicity,
+    /// Legacy and memoized enumeration agree bit-for-bit.
+    MemoDifferential,
+    /// A campaign-shared memo gives the same answer as a fresh one.
+    CacheReuse,
+    /// The Theorem 4.3 sampler lands within its `(ε, δ)` bound.
+    SamplerBound,
+    /// Same seed ⇒ bit-identical estimates at any thread count.
+    ThreadInvariance,
+    /// Dense and GTH stationary solvers agree bit-for-bit.
+    StationaryDifferential,
+    /// §5.1 partitioned evaluation equals whole-chain evaluation.
+    PartitionDifferential,
+    /// The Theorem 5.6 burn-in sampler matches the exact `B`-step mass.
+    BurnInConsistency,
+}
+
+impl CheckId {
+    /// Every check, in reporting order.
+    pub const ALL: [CheckId; 9] = [
+        CheckId::MassConservation,
+        CheckId::Monotonicity,
+        CheckId::MemoDifferential,
+        CheckId::CacheReuse,
+        CheckId::SamplerBound,
+        CheckId::ThreadInvariance,
+        CheckId::StationaryDifferential,
+        CheckId::PartitionDifferential,
+        CheckId::BurnInConsistency,
+    ];
+
+    /// Stable kebab-case name (CLI reporting).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckId::MassConservation => "mass-conservation",
+            CheckId::Monotonicity => "monotonicity",
+            CheckId::MemoDifferential => "memo-differential",
+            CheckId::CacheReuse => "cache-reuse",
+            CheckId::SamplerBound => "sampler-bound",
+            CheckId::ThreadInvariance => "thread-invariance",
+            CheckId::StationaryDifferential => "stationary-differential",
+            CheckId::PartitionDifferential => "partition-differential",
+            CheckId::BurnInConsistency => "burn-in-consistency",
+        }
+    }
+}
+
+/// Which evaluator-path families to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathSet {
+    /// Exact inflationary paths (mass, monotonicity, memo, cache).
+    pub inflationary: bool,
+    /// Sampling paths (Hoeffding bound, thread invariance).
+    pub sampling: bool,
+    /// Exact non-inflationary paths (dense vs GTH).
+    pub noninflationary: bool,
+    /// §5.1 partitioned vs whole.
+    pub partition: bool,
+    /// Burn-in restart sampling vs exact `P^B`.
+    pub burn_in: bool,
+}
+
+impl Default for PathSet {
+    fn default() -> PathSet {
+        PathSet {
+            inflationary: true,
+            sampling: true,
+            noninflationary: true,
+            partition: true,
+            burn_in: true,
+        }
+    }
+}
+
+impl PathSet {
+    /// Parses a comma-separated path list, e.g.
+    /// `inflationary,sampling`; `all` enables everything.
+    pub fn parse(s: &str) -> Option<PathSet> {
+        let mut set = PathSet {
+            inflationary: false,
+            sampling: false,
+            noninflationary: false,
+            partition: false,
+            burn_in: false,
+        };
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            match part {
+                "all" => return Some(PathSet::default()),
+                "inflationary" => set.inflationary = true,
+                "sampling" => set.sampling = true,
+                "noninflationary" => set.noninflationary = true,
+                "partition" => set.partition = true,
+                "burn-in" | "burnin" => set.burn_in = true,
+                _ => return None,
+            }
+        }
+        Some(set)
+    }
+
+    /// Whether `check` belongs to an enabled path family.
+    pub fn enables(&self, check: CheckId) -> bool {
+        match check {
+            CheckId::MassConservation
+            | CheckId::Monotonicity
+            | CheckId::MemoDifferential
+            | CheckId::CacheReuse => self.inflationary,
+            CheckId::SamplerBound | CheckId::ThreadInvariance => self.sampling,
+            CheckId::StationaryDifferential => self.noninflationary,
+            CheckId::PartitionDifferential => self.partition,
+            CheckId::BurnInConsistency => self.burn_in,
+        }
+    }
+}
+
+/// Oracle budgets and sampling parameters.
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    /// Enabled path families.
+    pub paths: PathSet,
+    /// Computation-tree node budget for exact inflationary enumeration.
+    pub node_budget: usize,
+    /// State/world budgets for chain construction.
+    pub chain_budget: ChainBudget,
+    /// Run the sampling checks on every `sample_cadence`-th case
+    /// (they dominate wall-clock; 1 = every case).
+    pub sample_cadence: usize,
+    /// `ε` for the Theorem 4.3 / 5.6 bound checks.
+    pub epsilon: f64,
+    /// `δ` for the bound checks. The per-check false-alarm probability;
+    /// keep it tiny so a whole campaign stays deterministic-clean.
+    pub delta: f64,
+    /// Fixed trial count for the thread-invariance replay.
+    pub invariance_samples: usize,
+    /// *Maximum* burn-in depth for the Theorem 5.6 consistency check;
+    /// each case uses a seed-derived depth in `1..=burn_in` (see
+    /// [`burn_in_depth`]). Shallow depths matter: transients — and
+    /// therefore off-by-one effects — are largest in the first steps.
+    pub burn_in: usize,
+}
+
+/// The burn-in depth the oracle uses for `case_seed`: cycles through
+/// `1..=cfg.burn_in` so the shallow depths, where chain transients are
+/// largest, are exercised as often as the deep ones.
+pub fn burn_in_depth(cfg: &OracleConfig, case_seed: u64) -> usize {
+    1 + (case_seed % cfg.burn_in.max(1) as u64) as usize
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            paths: PathSet::default(),
+            node_budget: 20_000,
+            chain_budget: ChainBudget {
+                max_states: 600,
+                world_limit: 2_048,
+            },
+            sample_cadence: 4,
+            epsilon: 0.1,
+            delta: 1e-6,
+            invariance_samples: 200,
+            burn_in: 3,
+        }
+    }
+}
+
+/// The outcome of one check on one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The property held.
+    Pass,
+    /// The check could not run (budget exhausted, path disabled,
+    /// structurally inapplicable); carries the reason.
+    Skip(String),
+    /// The property failed; carries the divergence detail.
+    Fail(String),
+}
+
+impl Outcome {
+    /// Whether this is a failure.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+}
+
+/// The oracle: configuration plus an optional seeded fault.
+pub struct Oracle {
+    /// Budgets, tolerances and enabled paths.
+    pub cfg: OracleConfig,
+    /// A seeded mutant to evaluate *instead of* the corresponding
+    /// production path — used by the harness self-check.
+    pub fault: Option<Fault>,
+}
+
+impl Oracle {
+    /// An oracle over the production evaluators.
+    pub fn new(cfg: OracleConfig) -> Oracle {
+        Oracle { cfg, fault: None }
+    }
+
+    /// An oracle with a seeded fault.
+    pub fn with_fault(cfg: OracleConfig, fault: Fault) -> Oracle {
+        Oracle {
+            cfg,
+            fault: Some(fault),
+        }
+    }
+
+    /// Runs every enabled check on `case`. `case_seed` keys all sampling
+    /// RNGs (deterministic); `sampled` gates the expensive sampling
+    /// checks; `shared` is the campaign-wide memo for [`CheckId::CacheReuse`].
+    pub fn run_case(
+        &self,
+        case: &FuzzCase,
+        case_seed: u64,
+        sampled: bool,
+        shared: &mut FixpointMemo,
+    ) -> Vec<(CheckId, Outcome)> {
+        let mut out = Vec::new();
+        for check in CheckId::ALL {
+            if !self.cfg.paths.enables(check) {
+                continue;
+            }
+            let sampling_check = matches!(
+                check,
+                CheckId::SamplerBound | CheckId::ThreadInvariance | CheckId::BurnInConsistency
+            );
+            if sampling_check && !sampled {
+                out.push((check, Outcome::Skip("off-cadence".into())));
+                continue;
+            }
+            out.push((check, self.run_check(case, check, case_seed, Some(shared))));
+        }
+        out
+    }
+
+    /// Runs a single check — the entry point the shrinker replays.
+    /// Without `shared`, [`CheckId::CacheReuse`] compares a warm second
+    /// evaluation on a fresh memo instead.
+    pub fn run_check(
+        &self,
+        case: &FuzzCase,
+        check: CheckId,
+        case_seed: u64,
+        shared: Option<&mut FixpointMemo>,
+    ) -> Outcome {
+        match check {
+            CheckId::MassConservation
+            | CheckId::Monotonicity
+            | CheckId::MemoDifferential
+            | CheckId::CacheReuse => self.inflationary_check(case, check, shared),
+            CheckId::SamplerBound => self.sampler_bound(case, case_seed),
+            CheckId::ThreadInvariance => self.thread_invariance(case, case_seed),
+            CheckId::StationaryDifferential => self.stationary_differential(case),
+            CheckId::PartitionDifferential => self.partition_differential(case),
+            CheckId::BurnInConsistency => self.burn_in_consistency(case, case_seed),
+        }
+    }
+
+    /// The reference inflationary distribution — routed through the
+    /// seeded lossy mutant when [`Fault::DropFrontierMerge`] is active.
+    fn legacy_distribution(&self, case: &FuzzCase) -> Result<Distribution<Database>, DatalogError> {
+        let budget = Some(self.cfg.node_budget);
+        match self.fault {
+            Some(Fault::DropFrontierMerge) => {
+                mutants::enumerate_fixpoints_lossy(&case.program, &case.db, budget)
+            }
+            _ => enumerate_fixpoints(&case.program, &case.db, budget),
+        }
+    }
+
+    fn inflationary_check(
+        &self,
+        case: &FuzzCase,
+        check: CheckId,
+        shared: Option<&mut FixpointMemo>,
+    ) -> Outcome {
+        let legacy = match self.legacy_distribution(case) {
+            Ok(d) => d,
+            Err(DatalogError::BudgetExceeded { what, limit }) => {
+                return Outcome::Skip(format!("inflationary budget exhausted: {what} > {limit}"));
+            }
+            Err(e) => return Outcome::Fail(format!("legacy enumeration errored: {e}")),
+        };
+        match check {
+            CheckId::MassConservation => {
+                if legacy.is_proper() {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail(format!(
+                        "fixpoint mass is {} (expected exactly 1)",
+                        legacy.total_mass()
+                    ))
+                }
+            }
+            CheckId::Monotonicity => {
+                let prepared = match eval::prepare_database(&case.program, &case.db) {
+                    Ok(db) => db,
+                    Err(e) => return Outcome::Fail(format!("prepare_database errored: {e}")),
+                };
+                for (fixpoint, _) in legacy.iter() {
+                    if !fixpoint.is_superset(&prepared) {
+                        return Outcome::Fail(format!(
+                            "inflationary fixpoint lost input tuples (fixpoint {fixpoint} ⊉ input)"
+                        ));
+                    }
+                }
+                Outcome::Pass
+            }
+            CheckId::MemoDifferential => {
+                let mut memo = FixpointMemo::new();
+                let memoized = match enumerate_fixpoints_memo(
+                    &case.program,
+                    &case.db,
+                    Some(self.cfg.node_budget),
+                    &mut memo,
+                ) {
+                    Ok(d) => d,
+                    Err(e) => return Outcome::Fail(format!("memoized path errored: {e}")),
+                };
+                if *memoized == legacy {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail(format!(
+                        "legacy and memoized distributions differ: {} vs {} worlds, mass {} vs {}",
+                        legacy.support_size(),
+                        memoized.support_size(),
+                        legacy.total_mass(),
+                        memoized.total_mass()
+                    ))
+                }
+            }
+            CheckId::CacheReuse => {
+                // Intern-id independence: a memo whose id space is
+                // polluted by other cases must give the same answer as
+                // a fresh one.
+                let mut fresh = FixpointMemo::new();
+                let baseline = match enumerate_fixpoints_memo(
+                    &case.program,
+                    &case.db,
+                    Some(self.cfg.node_budget),
+                    &mut fresh,
+                ) {
+                    Ok(d) => d.as_ref().clone(),
+                    Err(e) => return Outcome::Fail(format!("fresh-memo path errored: {e}")),
+                };
+                let mut local;
+                let warm: &mut FixpointMemo = match shared {
+                    Some(m) => m,
+                    None => {
+                        local = FixpointMemo::new();
+                        // Warm the memo with a first evaluation, then
+                        // re-evaluate through it.
+                        let _ = enumerate_fixpoints_memo(
+                            &case.program,
+                            &case.db,
+                            Some(self.cfg.node_budget),
+                            &mut local,
+                        );
+                        &mut local
+                    }
+                };
+                match enumerate_fixpoints_memo(
+                    &case.program,
+                    &case.db,
+                    Some(self.cfg.node_budget),
+                    warm,
+                ) {
+                    Ok(d) if *d == baseline => Outcome::Pass,
+                    Ok(d) => Outcome::Fail(format!(
+                        "shared-memo result differs from fresh memo: mass {} vs {}",
+                        d.total_mass(),
+                        baseline.total_mass()
+                    )),
+                    Err(e) => Outcome::Fail(format!("shared-memo path errored: {e}")),
+                }
+            }
+            _ => unreachable!("not an inflationary check"),
+        }
+    }
+
+    /// Exact event probability via the *production* legacy path (used as
+    /// ground truth for the sampler checks, fault-free on purpose: a
+    /// seeded inflationary fault should be caught by the inflationary
+    /// checks, not blur the sampler's reference).
+    fn exact_event_probability(&self, case: &FuzzCase) -> Result<Ratio, DatalogError> {
+        let dist = enumerate_fixpoints(&case.program, &case.db, Some(self.cfg.node_budget))?;
+        let event = case.event();
+        Ok(dist.probability_that(|db| event.holds(db)))
+    }
+
+    fn sampler_bound(&self, case: &FuzzCase, case_seed: u64) -> Outcome {
+        let exact = match self.exact_event_probability(case) {
+            Ok(p) => p,
+            Err(DatalogError::BudgetExceeded { .. }) => {
+                return Outcome::Skip("no exact reference (budget)".into());
+            }
+            Err(e) => return Outcome::Fail(format!("exact reference errored: {e}")),
+        };
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let config = SamplerConfig::seeded(case_seed).with_threads(2);
+        let report = match sample_inflationary::evaluate_with_config(
+            &query,
+            &case.db,
+            self.cfg.epsilon,
+            self.cfg.delta,
+            &config,
+        ) {
+            Ok(r) => r,
+            Err(e) => return Outcome::Fail(format!("sampler errored where exact succeeded: {e}")),
+        };
+        let gap = (report.estimate - exact.to_f64()).abs();
+        // 1e-12 absorbs float noise in the ε comparison itself.
+        if gap <= self.cfg.epsilon + 1e-12 {
+            Outcome::Pass
+        } else {
+            Outcome::Fail(format!(
+                "sampler estimate {:.6} vs exact {:.6}: gap {gap:.6} > ε = {} \
+                 ({} samples, δ = {})",
+                report.estimate,
+                exact.to_f64(),
+                self.cfg.epsilon,
+                report.samples,
+                self.cfg.delta
+            ))
+        }
+    }
+
+    fn thread_invariance(&self, case: &FuzzCase, case_seed: u64) -> Outcome {
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let run = |threads: usize| {
+            sample_inflationary::evaluate_with_samples_config(
+                &query,
+                &case.db,
+                self.cfg.invariance_samples,
+                &SamplerConfig::seeded(case_seed).with_threads(threads),
+            )
+        };
+        match (run(1), run(3)) {
+            (Ok(a), Ok(b)) => {
+                if a.estimate.to_bits() == b.estimate.to_bits() && a.samples == b.samples {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail(format!(
+                        "same seed, different estimates across thread counts: \
+                         {:.9} (1 thread) vs {:.9} (3 threads)",
+                        a.estimate, b.estimate
+                    ))
+                }
+            }
+            (Err(a), Err(_)) => Outcome::Skip(format!("sampler unavailable: {a}")),
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => {
+                Outcome::Fail(format!("sampler errored at one thread count only: {e}"))
+            }
+        }
+    }
+
+    fn stationary_differential(&self, case: &FuzzCase) -> Outcome {
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let (fq, prepared) = match query.to_forever_query(&case.db) {
+            Ok(t) => t,
+            Err(e) => return Outcome::Skip(format!("no non-inflationary translation: {e}")),
+        };
+        let eval = |method: StationaryMethod| {
+            exact_noninflationary::evaluate_with_method(
+                &fq,
+                &prepared,
+                self.cfg.chain_budget,
+                method,
+            )
+        };
+        match (
+            eval(StationaryMethod::DenseReference),
+            eval(StationaryMethod::SparseGth),
+        ) {
+            (Ok(dense), Ok(gth)) => {
+                if dense == gth {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail(format!(
+                        "dense long-run probability {dense} differs from GTH {gth}"
+                    ))
+                }
+            }
+            (Err(a), Err(_)) => Outcome::Skip(format!("chain unavailable: {a}")),
+            (Err(e), Ok(_)) => Outcome::Fail(format!("dense errored where GTH succeeded: {e}")),
+            (Ok(_), Err(e)) => Outcome::Fail(format!("GTH errored where dense succeeded: {e}")),
+        }
+    }
+
+    fn partition_differential(&self, case: &FuzzCase) -> Outcome {
+        if case.program.has_negation() {
+            return Outcome::Skip("partitioning requires a negation-free program".into());
+        }
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let (fq, prepared) = match query.to_forever_query(&case.db) {
+            Ok(t) => t,
+            Err(e) => return Outcome::Skip(format!("no non-inflationary translation: {e}")),
+        };
+        let whole = match exact_noninflationary::evaluate(&fq, &prepared, self.cfg.chain_budget) {
+            Ok(p) => p,
+            Err(e) => return Outcome::Skip(format!("whole chain unavailable: {e}")),
+        };
+        match partition::evaluate_partitioned(&query, &case.db, self.cfg.chain_budget) {
+            Ok(p) if p == whole => Outcome::Pass,
+            Ok(p) => Outcome::Fail(format!(
+                "partitioned probability {p} differs from whole-chain {whole}"
+            )),
+            Err(e) => Outcome::Fail(format!(
+                "partitioned evaluation errored where whole-chain succeeded: {e}"
+            )),
+        }
+    }
+
+    fn burn_in_consistency(&self, case: &FuzzCase, case_seed: u64) -> Outcome {
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let (fq, prepared) = match query.to_forever_query(&case.db) {
+            Ok(t) => t,
+            Err(e) => return Outcome::Skip(format!("no non-inflationary translation: {e}")),
+        };
+        let chain = match exact_noninflationary::build_chain(&fq, &prepared, self.cfg.chain_budget)
+        {
+            Ok(c) => c,
+            Err(e) => return Outcome::Skip(format!("chain unavailable: {e}")),
+        };
+        let start = chain
+            .index_of(&prepared)
+            .expect("start state was interned during exploration");
+        // Exact B-step event mass by forward propagation: restart
+        // sampling estimates exactly Pr(event after B steps), so that —
+        // not the stationary probability — is the sound reference (the
+        // two differ on periodic or slowly mixing chains).
+        let burn_in = burn_in_depth(&self.cfg, case_seed);
+        let mut mass = vec![Ratio::zero(); chain.len()];
+        mass[start] = Ratio::one();
+        for _ in 0..burn_in {
+            mass = chain.step_distribution(&mass);
+        }
+        let mut exact = Ratio::zero();
+        for (i, p) in mass.iter().enumerate() {
+            if !p.is_zero() && fq.event.holds(chain.state(i)) {
+                exact = exact.add_ref(p);
+            }
+        }
+        let config = SamplerConfig::seeded(case_seed ^ 0x5bd1_e995).with_threads(2);
+        let report = match self.fault {
+            Some(Fault::BurnInOffByOne) => mutants::burn_in_off_by_one(
+                &fq,
+                &prepared,
+                burn_in,
+                self.cfg.epsilon,
+                self.cfg.delta,
+                &config,
+            ),
+            _ => mixing_sampler::evaluate_with_burn_in_config(
+                &fq,
+                &prepared,
+                burn_in,
+                self.cfg.epsilon,
+                self.cfg.delta,
+                &config,
+            ),
+        };
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                return Outcome::Fail(format!(
+                    "burn-in sampler errored where exact chain succeeded: {e}"
+                ));
+            }
+        };
+        let gap = (report.estimate - exact.to_f64()).abs();
+        if gap <= self.cfg.epsilon + 1e-12 {
+            Outcome::Pass
+        } else {
+            Outcome::Fail(format!(
+                "burn-in estimate {:.6} vs exact P^{} mass {:.6}: gap {gap:.6} > ε = {} \
+                 ({} samples, δ = {})",
+                report.estimate,
+                burn_in,
+                exact.to_f64(),
+                self.cfg.epsilon,
+                report.samples,
+                self.cfg.delta
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_set_parses() {
+        let all = PathSet::parse("all").unwrap();
+        assert!(all.inflationary && all.burn_in);
+        let some = PathSet::parse("inflationary,sampling").unwrap();
+        assert!(some.inflationary && some.sampling);
+        assert!(!some.noninflationary && !some.partition && !some.burn_in);
+        assert!(PathSet::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn check_names_are_stable() {
+        for check in CheckId::ALL {
+            assert!(!check.name().is_empty());
+        }
+    }
+}

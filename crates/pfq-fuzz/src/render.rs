@@ -1,0 +1,137 @@
+//! Rendering a fuzz case as a runnable `.pfq` reproducer file.
+//!
+//! The emitted file round-trips through `pfq run`: `@relation` blocks
+//! for the EDB input, the program via the (round-trip-exact) AST
+//! pretty-printer, and `@query` directives for the evaluator paths the
+//! divergence touched, so a failure can be replayed and debugged
+//! entirely outside the fuzzer.
+
+use crate::gen::FuzzCase;
+use crate::oracle::CheckId;
+use pfq_data::Value;
+
+/// Renders one constant in `.pfq` concrete syntax.
+fn value_token(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Ratio(r) => format!("{}/{}", r.numer(), r.denom()),
+    }
+}
+
+/// Renders the event atom, e.g. `R0(1, "a")`.
+fn event_atom(case: &FuzzCase) -> String {
+    let args: Vec<String> = case.event_tuple.values().iter().map(value_token).collect();
+    if args.is_empty() {
+        case.event_relation.clone()
+    } else {
+        format!("{}({})", case.event_relation, args.join(", "))
+    }
+}
+
+/// The `@query` directives exercising the paths `check` compares, with
+/// deterministic seeds baked in. `burn_in` is the seed-derived depth
+/// the oracle used ([`crate::oracle::burn_in_depth`]).
+fn query_lines(case: &FuzzCase, check: CheckId, case_seed: u64, burn_in: usize) -> Vec<String> {
+    let event = event_atom(case);
+    match check {
+        CheckId::MassConservation
+        | CheckId::Monotonicity
+        | CheckId::MemoDifferential
+        | CheckId::CacheReuse => {
+            vec![format!("@query inflationary exact event {event}")]
+        }
+        CheckId::SamplerBound | CheckId::ThreadInvariance => vec![
+            format!("@query inflationary exact event {event}"),
+            format!("@query inflationary sample epsilon 0.1 delta 0.000001 seed {case_seed} event {event}"),
+        ],
+        CheckId::StationaryDifferential | CheckId::PartitionDifferential => {
+            vec![format!("@query noninflationary exact event {event}")]
+        }
+        CheckId::BurnInConsistency => vec![
+            format!("@query noninflationary exact event {event}"),
+            format!(
+                "@query noninflationary burn-in {burn_in} epsilon 0.1 delta 0.000001 seed {} event {event}",
+                case_seed ^ 0x5bd1_e995
+            ),
+        ],
+    }
+}
+
+/// Renders `case` as a complete `.pfq` file. `header` lines become `%`
+/// comments at the top (divergence details, seeds); `burn_in` is the
+/// oracle's seed-derived burn-in depth for this case.
+pub fn to_pfq(
+    case: &FuzzCase,
+    check: CheckId,
+    case_seed: u64,
+    burn_in: usize,
+    header: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str("% pfq-fuzz reproducer\n");
+    for line in header {
+        for l in line.lines() {
+            out.push_str("% ");
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out.push('\n');
+
+    // EDB relations (Database iterates in name order — deterministic).
+    for (name, rel) in case.db.iter() {
+        let cols = rel.schema().columns().join(", ");
+        out.push_str(&format!("@relation {name}({cols}) {{\n"));
+        for t in rel.iter() {
+            let vals: Vec<String> = t.values().iter().map(value_token).collect();
+            out.push_str(&format!("    ({})\n", vals.join(", ")));
+        }
+        out.push_str("}\n\n");
+    }
+
+    out.push_str("@program {\n");
+    for rule in &case.program.rules {
+        out.push_str(&format!("    {rule}\n"));
+    }
+    out.push_str("}\n\n");
+
+    for q in query_lines(case, check, case_seed, burn_in) {
+        out.push_str(&q);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn value_tokens_are_parseable_forms() {
+        assert_eq!(value_token(&Value::int(3)), "3");
+        assert_eq!(value_token(&Value::str("a")), "\"a\"");
+        assert_eq!(value_token(&Value::frac(1, 2)), "1/2");
+        assert_eq!(value_token(&Value::frac(2, 1)), "2/1");
+    }
+
+    #[test]
+    fn rendered_cases_have_all_sections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let case = generate(&GenConfig::default(), &mut rng);
+        let text = to_pfq(
+            &case,
+            CheckId::MemoDifferential,
+            42,
+            3,
+            &["detail line".into()],
+        );
+        assert!(text.contains("@relation E0("));
+        assert!(text.contains("@program {"));
+        assert!(text.contains("@query inflationary exact event "));
+        assert!(text.contains("% detail line"));
+    }
+}

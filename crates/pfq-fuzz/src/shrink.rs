@@ -1,0 +1,221 @@
+//! Integrated delta-debugging shrinker.
+//!
+//! Given a case that fails a specific oracle check, greedily applies
+//! structure-preserving reductions — remove a rule, an EDB tuple, a
+//! body atom, a negated atom, a weight annotation, an unused relation —
+//! keeping a candidate only when it is still *valid* (safe rules, all
+//! body relations resolvable, the event relation still defined) and
+//! still fails the *same* check. Runs to a fixpoint, so the result is
+//! 1-minimal with respect to the reduction set.
+//!
+//! The vendored proptest shim has no shrinking, which is why the fuzzer
+//! integrates its own; determinism comes from replaying each candidate
+//! through the oracle with the original case seed.
+
+use crate::gen::FuzzCase;
+use crate::oracle::{CheckId, Oracle};
+use pfq_datalog::Program;
+
+/// Statistics of one shrink run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidates tried.
+    pub candidates: usize,
+    /// Candidates accepted (reductions applied).
+    pub accepted: usize,
+}
+
+/// Shrinks `case` while `check` keeps failing under `oracle`. Returns
+/// the minimized case and run statistics.
+pub fn shrink(
+    case: &FuzzCase,
+    oracle: &Oracle,
+    check: CheckId,
+    case_seed: u64,
+) -> (FuzzCase, ShrinkStats) {
+    let mut current = case.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            stats.candidates += 1;
+            if !is_valid(&candidate) {
+                continue;
+            }
+            if oracle
+                .run_check(&candidate, check, case_seed, None)
+                .is_fail()
+            {
+                current = candidate;
+                stats.accepted += 1;
+                progressed = true;
+                break; // restart the scan from the smaller case
+            }
+        }
+        if !progressed {
+            return (current, stats);
+        }
+    }
+}
+
+/// All one-step reductions of `case`, in decreasing-impact order (whole
+/// rules first, then tuples, then intra-rule slimming).
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+
+    // Remove one rule.
+    if case.program.rules.len() > 1 {
+        for i in 0..case.program.rules.len() {
+            let mut rules = case.program.rules.clone();
+            rules.remove(i);
+            if let Ok(program) = Program::new(rules) {
+                out.push(FuzzCase {
+                    program,
+                    ..case.clone()
+                });
+            }
+        }
+    }
+
+    // Remove one EDB tuple.
+    let rel_names: Vec<String> = case.db.iter().map(|(n, _)| n.to_string()).collect();
+    for name in &rel_names {
+        let rel = case.db.get(name).expect("iterated name");
+        if rel.len() <= 1 {
+            continue; // keep relations non-empty: an empty EDB changes
+                      // the failure class more often than it shrinks it
+        }
+        for t in rel.iter() {
+            let mut smaller = rel.clone();
+            smaller.remove(t);
+            let mut db = case.db.clone();
+            db.set(name.clone(), smaller);
+            out.push(FuzzCase { db, ..case.clone() });
+        }
+    }
+
+    // Intra-rule reductions.
+    for (i, rule) in case.program.rules.iter().enumerate() {
+        // Drop one positive body atom.
+        for j in 0..rule.body.len() {
+            let mut r = rule.clone();
+            r.body.remove(j);
+            push_rule_edit(case, i, r, &mut out);
+        }
+        // Drop one negated atom.
+        for j in 0..rule.negatives.len() {
+            let mut r = rule.clone();
+            r.negatives.remove(j);
+            push_rule_edit(case, i, r, &mut out);
+        }
+        // Drop the weight annotation (uniform repair-key instead) —
+        // only where the weightless head still has concrete syntax.
+        if rule.head.weight.is_some() {
+            let mut r = rule.clone();
+            r.head.weight = None;
+            if r.head.is_renderable() {
+                push_rule_edit(case, i, r, &mut out);
+            }
+        }
+    }
+
+    // Remove one EDB relation no body references.
+    for name in &rel_names {
+        let referenced = case.program.rules.iter().any(|r| {
+            r.body
+                .iter()
+                .chain(r.negatives.iter())
+                .any(|a| &a.relation == name)
+        });
+        if !referenced {
+            let mut db = pfq_data::Database::new();
+            for (n, rel) in case.db.iter() {
+                if n != name {
+                    db.set(n.to_string(), rel.clone());
+                }
+            }
+            out.push(FuzzCase { db, ..case.clone() });
+        }
+    }
+
+    out
+}
+
+fn push_rule_edit(case: &FuzzCase, index: usize, rule: pfq_datalog::Rule, out: &mut Vec<FuzzCase>) {
+    let mut rules = case.program.rules.clone();
+    rules[index] = rule;
+    if let Ok(program) = Program::new(rules) {
+        out.push(FuzzCase {
+            program,
+            ..case.clone()
+        });
+    }
+}
+
+/// Structural validity: the reduced case must still be a well-formed
+/// fuzz case, or the oracle would fail for unrelated reasons.
+fn is_valid(case: &FuzzCase) -> bool {
+    if case.program.rules.is_empty() {
+        return false;
+    }
+    if case.program.idb_arities().is_err() {
+        return false;
+    }
+    let idb = case.program.idb_relations();
+    // Every body relation must still resolve.
+    for rule in &case.program.rules {
+        for atom in rule.body.iter().chain(rule.negatives.iter()) {
+            let resolved = match case.db.get(&atom.relation) {
+                Some(rel) => rel.schema().arity() == atom.terms.len(),
+                None => idb.contains(atom.relation.as_str()),
+            };
+            if !resolved {
+                return false;
+            }
+        }
+    }
+    // The event must still observe a defined IDB relation at the right
+    // arity.
+    idb.contains(case.event_relation.as_str())
+        && case
+            .program
+            .idb_arities()
+            .map(|arities| {
+                arities
+                    .iter()
+                    .any(|(n, a)| n == &case.event_relation && *a == case.event_tuple.arity())
+            })
+            .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn candidates_are_valid_or_filtered() {
+        for seed in 0..40 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let case = generate(&GenConfig::default(), &mut rng);
+            for cand in candidates(&case) {
+                if is_valid(&cand) {
+                    // A valid candidate must re-validate as a program.
+                    Program::new(cand.program.rules.clone()).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rule_case_has_no_rule_removals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let case = generate(&GenConfig::sized(1), &mut rng);
+        assert_eq!(case.program.rules.len(), 1);
+        assert!(candidates(&case)
+            .iter()
+            .all(|c| !c.program.rules.is_empty()));
+    }
+}

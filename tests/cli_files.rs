@@ -83,6 +83,75 @@ fn stats_demo_pfq_matches_golden_output() {
     );
 }
 
+/// Replaces the wall-time figure in sampled-result lines — the only
+/// non-deterministic bytes `pfq run` emits — with a fixed token, so
+/// sampled queries can be pinned by golden files too.
+fn normalize(rendered: &str) -> String {
+    rendered
+        .split_inclusive('\n')
+        .map(|line| match (line.rfind("; "), line.rfind(" ms on ")) {
+            (Some(semi), Some(ms)) if semi < ms => {
+                format!("{}; <time> ms on {}", &line[..semi], &line[ms + 7..])
+            }
+            _ => line.to_string(),
+        })
+        .collect()
+}
+
+/// Every `examples/*.pfq` file is pinned by a golden output under
+/// `tests/golden/<stem>.out`, run deterministically (one worker thread,
+/// the seeds baked into the files, wall times normalized). Regenerate
+/// after an intentional output change with
+/// `UPDATE_GOLDEN=1 cargo test --test cli_files`.
+#[test]
+fn every_example_pfq_matches_golden_output() {
+    let examples = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    let mut covered = 0;
+    let mut names: Vec<_> = std::fs::read_dir(&examples)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pfq"))
+        .collect();
+    names.sort();
+    for path in names {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let options = RunOptions {
+            threads: 1,
+            // stats_demo's golden pins the cache-statistics surface.
+            stats: stem == "stats_demo",
+            ..RunOptions::default()
+        };
+        let results = run_file_with_options(&path, &options)
+            .unwrap_or_else(|e| panic!("examples/{stem}.pfq failed: {e}"));
+        let rendered = normalize(&render_results(&results));
+        let golden_path = golden_dir.join(format!("{stem}.out"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &rendered).unwrap();
+            covered += 1;
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for examples/{stem}.pfq ({e}); \
+                 regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+            )
+        });
+        assert_eq!(
+            rendered, golden,
+            "examples/{stem}.pfq output drifted from tests/golden/{stem}.out; \
+             if intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+        );
+        covered += 1;
+    }
+    assert!(
+        covered >= 4,
+        "expected at least 4 .pfq examples, saw {covered}"
+    );
+}
+
 #[test]
 fn coloring_pfq_is_uniform() {
     let results = run_file(&repo_example("coloring.pfq")).unwrap();
