@@ -12,8 +12,7 @@
 //! `-- --smoke` for the tiny CI configuration.
 
 use pfq_bench::{fmt_duration, print_table, time_median};
-use pfq_core::exact_inflationary::{self, ExactBudget};
-use pfq_core::{CacheConfig, DatalogQuery, EvalCache, Event};
+use pfq_core::{CacheConfig, DatalogQuery, Engine, EvalRequest, Event, Strategy};
 use pfq_data::tuple;
 use pfq_num::Ratio;
 use pfq_workloads::sat::{theorem_4_1_pc, Cnf};
@@ -44,17 +43,19 @@ fn main() {
         } else {
             CacheConfig::disabled()
         };
-        let mut cache = EvalCache::new(config);
+        let mut engine = Engine::new();
         queries
             .iter()
             .map(|q| {
-                exact_inflationary::evaluate_pc_with_cache(
-                    q,
-                    &input,
-                    ExactBudget::default(),
-                    &mut cache,
-                )
-                .unwrap()
+                engine
+                    .run(
+                        &EvalRequest::inflationary_pc(q, &input)
+                            .with_strategy(Strategy::ExactTree)
+                            .with_cache_config(config),
+                    )
+                    .unwrap()
+                    .into_exact()
+                    .unwrap()
             })
             .collect()
     };

@@ -89,6 +89,7 @@ fn main() {
     e12_stationary_ablation();
     e13_optimizer_ablation();
     e14_mcmc_coloring();
+    e17_planner(&knobs);
 }
 
 /// E1 — Table 1 row 1, exact: exponential scaling of exact evaluation of
@@ -714,6 +715,111 @@ fn e14_mcmc_coloring() {
             "t(0.05)",
             "chain build",
         ],
+        &rows,
+    );
+}
+
+/// E17 — the engine planner: `Strategy::Auto` vs forced paths. On the
+/// 3-SAT pc-table the planner's world probe flips from exact tree
+/// traversal to Thm 4.3 sampling once `2^n` passes the world cap; on the
+/// Glauber-coloring chains the state probe keeps the exact chain, with
+/// Thm 5.6 restart sampling as the forced alternative. Every overlapping
+/// answer is asserted identical (exact) or within tolerance (sampled).
+fn e17_planner(knobs: &Knobs) {
+    use pfq_core::{Engine, EvalRequest, Strategy};
+    use pfq_workloads::coloring::ColoringMcmc;
+    let mut rows = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    for n in [6usize, 8, 10, 12] {
+        let (f, _) = Cnf::random_satisfiable(n, n, &mut rng);
+        let (query, input) = theorem_4_1_pc(&f);
+        let seed = knobs.seed ^ (17 << 32) ^ n as u64;
+        let request = |strategy| {
+            EvalRequest::inflationary_pc(&query, &input)
+                .with_strategy(strategy)
+                .with_seed(seed)
+                .with_threads(knobs.threads)
+        };
+        let (d_auto, auto) = time_once(|| Engine::new().run(&request(Strategy::Auto)).unwrap());
+        let (d_exact, exact) =
+            time_once(|| Engine::new().run(&request(Strategy::ExactTree)).unwrap());
+        let (d_sample, sampled) = time_once(|| {
+            Engine::new()
+                .run(&request(Strategy::SampleFixpoint))
+                .unwrap()
+        });
+        // Whatever the planner picked must match its forced twin.
+        match auto.value.exact() {
+            Some(p) => assert_eq!(
+                Some(p),
+                exact.value.exact(),
+                "auto exact diverged from forced exact tree"
+            ),
+            None => assert_eq!(
+                auto.value.to_f64().to_bits(),
+                sampled.value.to_f64().to_bits(),
+                "auto estimate diverged from forced sampling at the same seed"
+            ),
+        }
+        rows.push(vec![
+            format!("3-SAT n={n} (2^{n} worlds)"),
+            auto.plan.action.name().to_string(),
+            fmt_duration(d_auto),
+            fmt_duration(d_exact),
+            fmt_duration(d_sample),
+        ]);
+    }
+    for (name, g) in [
+        (
+            "coloring triangle q=4",
+            ColoringMcmc::new(3, vec![(0, 1), (0, 2), (1, 2)], 4),
+        ),
+        (
+            "coloring 4-cycle q=4",
+            ColoringMcmc::new(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)], 4),
+        ),
+    ] {
+        let (query, db) = g.color_query(0, 0);
+        let seed = knobs.seed ^ (17 << 32) ^ 0xC0;
+        let request = |strategy| {
+            EvalRequest::forever(&query, &db)
+                .with_strategy(strategy)
+                .with_seed(seed)
+                .with_threads(knobs.threads)
+                .with_epsilon_delta(0.05, 0.05)
+        };
+        let (d_auto, auto) = time_once(|| Engine::new().run(&request(Strategy::Auto)).unwrap());
+        let (d_exact, exact) =
+            time_once(|| Engine::new().run(&request(Strategy::ExactChain)).unwrap());
+        // burn_in: None → the planner measures t(ε) on the explicit chain.
+        let (d_sample, sampled) = time_once(|| {
+            Engine::new()
+                .run(&request(Strategy::BurnInSample { burn_in: None }))
+                .unwrap()
+        });
+        assert_eq!(
+            auto.value.exact(),
+            exact.value.exact(),
+            "auto diverged from the forced exact chain"
+        );
+        // Restart sampling estimates P^B mass: ε_mix + ε_sample ≤ 0.1,
+        // plus slack for the δ-probability tail.
+        let p = exact.value.to_f64();
+        assert!(
+            (sampled.value.to_f64() - p).abs() <= 0.15,
+            "restart-sampling estimate strayed from the exact long-run probability"
+        );
+        rows.push(vec![
+            name.to_string(),
+            auto.plan.action.name().to_string(),
+            fmt_duration(d_auto),
+            fmt_duration(d_exact),
+            fmt_duration(d_sample),
+        ]);
+    }
+    print_table(
+        "E17 — planner-chosen vs forced strategies (Auto plans exact while the probe fits the budget, samples past it; overlapping answers asserted identical)",
+        &["workload", "auto plan", "auto time", "forced exact", "forced sampling"],
         &rows,
     );
 }

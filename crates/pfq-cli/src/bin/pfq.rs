@@ -2,7 +2,8 @@
 //! `.pfq` files.
 //!
 //! ```text
-//! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive] [--stats]
+//! pfq run <file.pfq> [--threads N] [--seed S] [--no-adaptive] [--stats] [--explain]
+//! pfq plan <file.pfq> [--stationary-method dense|gth]
 //! pfq fuzz [--seed S] [--programs N] [--max-size K] [--paths LIST] [--smoke]
 //! pfq help
 //! ```
@@ -18,6 +19,8 @@ pfq — probabilistic fixpoint and Markov chain queries (PODS 2010)
 
 USAGE:
     pfq run <file.pfq> [OPTIONS]    evaluate every @query directive in the file
+    pfq plan <file.pfq> [OPTIONS]   show the planner's strategy per query
+                                    without executing anything
     pfq fuzz [OPTIONS]              differential-fuzz the evaluator paths
     pfq help                        show this message
 
@@ -29,7 +32,7 @@ OPTIONS (fuzzing):
                        scale with it (default: 4)
     --paths <LIST>     comma-separated evaluator-path families to cross-check:
                        inflationary, sampling, noninflationary, partition,
-                       burn-in, or all (default: all)
+                       burn-in, planner, or all (default: all)
     --time-budget <SECS>
                        stop the campaign after this many seconds
     --smoke            CI smoke mode: fixed seed 42, 200 programs, 60 s budget
@@ -54,6 +57,17 @@ OPTIONS (exact queries):
                        gth (default) = sparse subtraction-free GTH elimination,
                        dense = the O(n³) Gaussian-elimination reference; both
                        return bit-identical results (A/B timing knob)
+
+OPTIONS (planning):
+    --explain          (pfq run) print the executed plan tree under each
+                       result: the strategy, its paper reference, the
+                       budgets/seeds in force, and the planner's notes
+                       `pfq plan` takes the same options as `pfq run`; exact
+                       and sample directives are planned with strategy
+                       selection left to the planner (eligibility analysis:
+                       negation-freedom, §5.1 partitioning, budget probes),
+                       while time-average and burn-in directives pin their
+                       algorithm
 
 FILE FORMAT (see the crate docs for details):
     @relation E(i, j, p) {
@@ -102,6 +116,7 @@ fn parse_run_args(args: &[String]) -> Result<(String, RunOptions), String> {
             }
             "--no-adaptive" => options.no_adaptive = true,
             "--stats" => options.stats = true,
+            "--explain" => options.explain = true,
             "--stationary-method" => {
                 let v = value("--stationary-method")?;
                 options.stationary_method = StationaryMethod::parse(&v).ok_or_else(|| {
@@ -151,7 +166,8 @@ fn parse_fuzz_args(args: &[String]) -> Result<(pfq_fuzz::FuzzConfig, String), St
                 cfg.oracle.paths = pfq_fuzz::PathSet::parse(&v).ok_or_else(|| {
                     format!(
                         "bad --paths value {v:?} (expected a comma-separated subset of \
-                         inflationary, sampling, noninflationary, partition, burn-in, or all)"
+                         inflationary, sampling, noninflationary, partition, burn-in, \
+                         planner, or all)"
                     )
                 })?;
             }
@@ -221,6 +237,25 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("plan") => {
+            let (path, options) = match parse_run_args(&args[1..]) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match pfq_cli::plan_file_with_options(Path::new(&path), &options) {
+                Ok(rendered) => {
+                    print!("{rendered}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("fuzz") => match parse_fuzz_args(&args[1..]) {
             Ok((cfg, out)) => run_fuzz(&cfg, &out),
             Err(e) => {
@@ -253,6 +288,7 @@ mod tests {
             "7",
             "--no-adaptive",
             "--stats",
+            "--explain",
             "--stationary-method",
             "dense",
         ]
@@ -263,13 +299,13 @@ mod tests {
         assert_eq!(path, "q.pfq");
         assert_eq!(
             options,
-            RunOptions {
-                threads: 4,
-                seed: Some(7),
-                no_adaptive: true,
-                stats: true,
-                stationary_method: StationaryMethod::DenseReference,
-            }
+            RunOptions::default()
+                .with_threads(4)
+                .with_seed(7)
+                .with_no_adaptive(true)
+                .with_stats(true)
+                .with_explain(true)
+                .with_stationary_method(StationaryMethod::DenseReference)
         );
         assert_eq!(
             parse_run_args(&["q.pfq".into()])
@@ -311,7 +347,7 @@ mod tests {
         assert_eq!(cfg.programs, 50);
         assert_eq!(cfg.gen.max_rules, 6);
         assert!(cfg.oracle.paths.inflationary && cfg.oracle.paths.sampling);
-        assert!(!cfg.oracle.paths.noninflationary);
+        assert!(!cfg.oracle.paths.noninflationary && !cfg.oracle.paths.planner);
         assert_eq!(cfg.time_budget, Some(Duration::from_secs(30)));
         assert_eq!(out, "r.pfq");
 

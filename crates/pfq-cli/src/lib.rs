@@ -51,6 +51,6 @@ pub mod runner;
 
 pub use format::{parse_file, PfqFile, Query, Semantics};
 pub use runner::{
-    render_results, run_file, run_file_with_options, run_source, run_source_with_options,
-    QueryResult, RunOptions,
+    plan_file_with_options, plan_source_with_options, plan_with_options, render_results, run_file,
+    run_file_with_options, run_source, run_source_with_options, QueryResult, RunOptions,
 };

@@ -1,18 +1,27 @@
-//! Executing the queries of a parsed `.pfq` file.
+//! Executing (and planning) the queries of a parsed `.pfq` file.
+//!
+//! Every directive is translated into a [`pfq_core::engine::EvalRequest`]
+//! and handed to one shared [`Engine`] per file, so exact queries share
+//! interned states and memoized transition rows across directives.
+//! `run*` entry points force the directive's historical strategy (output
+//! is byte-identical to the pre-engine CLI); `plan*` entry points ask
+//! the planner what it *would* choose and render the explainable plan
+//! tree without executing anything.
 
 use crate::format::{parse_file, PfqFile, Query, Semantics};
-use pfq_core::exact_inflationary::{self, ExactBudget};
-use pfq_core::exact_noninflationary::{self, ChainBudget};
-use pfq_core::sampler::{SampleReport, SamplerConfig};
-use pfq_core::{
-    mixing_sampler, sample_inflationary, DatalogQuery, EvalCache, Event, ForeverQuery,
-    StationaryMethod,
-};
-use pfq_datalog::Program;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use pfq_core::engine::{Engine, EvalRequest, Plan, Strategy};
+use pfq_core::sampler::SampleReport;
+use pfq_core::{DatalogQuery, Event, ForeverQuery, StationaryMethod};
+use pfq_data::Database;
 
-/// Execution options applying to every sampling query in a file.
+/// Execution options applying to every query in a file. Construct with
+/// [`Default`] plus the builder-style setters, so new flags do not churn
+/// call sites:
+///
+/// ```
+/// # use pfq_cli::RunOptions;
+/// let options = RunOptions::default().with_threads(2).with_stats(true);
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunOptions {
     /// Worker threads for the sampling engine; `0` = one per core.
@@ -32,16 +41,45 @@ pub struct RunOptions {
     /// default; the dense reference for A/B comparison). Both return
     /// bit-identical results.
     pub stationary_method: StationaryMethod,
+    /// Attach the executed plan tree to every result (`--explain`).
+    pub explain: bool,
 }
 
 impl RunOptions {
-    fn sampler_config(&self, query_seed: u64) -> SamplerConfig {
-        SamplerConfig {
-            seed: self.seed.unwrap_or(query_seed),
-            threads: self.threads,
-            adaptive: !self.no_adaptive,
-            ..SamplerConfig::default()
-        }
+    /// Sets the sampling worker-thread count (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides every query's seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Disables adaptive early stopping.
+    pub fn with_no_adaptive(mut self, no_adaptive: bool) -> Self {
+        self.no_adaptive = no_adaptive;
+        self
+    }
+
+    /// Enables per-query cache statistics.
+    pub fn with_stats(mut self, stats: bool) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Selects the exact linear-algebra backend for long-run solves.
+    pub fn with_stationary_method(mut self, method: StationaryMethod) -> Self {
+        self.stationary_method = method;
+        self
+    }
+
+    /// Attaches the executed plan tree to every result.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
     }
 }
 
@@ -55,11 +93,14 @@ pub struct QueryResult {
     /// Cumulative cache statistics after this query (with
     /// [`RunOptions::stats`]); deterministic — no wall times.
     pub stats: Option<String>,
+    /// The executed plan tree (with [`RunOptions::explain`]);
+    /// deterministic — no wall times.
+    pub plan: Option<String>,
 }
 
 /// Renders results in the CLI's output format: each directive echoed
-/// back, the indented result line, and (under `--stats`) an indented
-/// `cache:` line.
+/// back, the indented result line, then (under `--explain`) the indented
+/// plan tree and (under `--stats`) an indented `cache:` line.
 pub fn render_results(results: &[QueryResult]) -> String {
     let mut out = String::new();
     for r in results {
@@ -68,6 +109,13 @@ pub fn render_results(results: &[QueryResult]) -> String {
         out.push_str("  ");
         out.push_str(&r.value);
         out.push('\n');
+        if let Some(plan) = &r.plan {
+            for line in plan.lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
         if let Some(stats) = &r.stats {
             out.push_str("  cache: ");
             out.push_str(stats);
@@ -95,23 +143,137 @@ fn format_report(report: &SampleReport, detail: std::fmt::Arguments<'_>) -> Stri
     )
 }
 
+/// The owned query objects an [`EvalRequest`] borrows from: the datalog
+/// view of the directive and, for `kernel` directives, the raw
+/// forever-query.
+struct QueryContext {
+    dq: DatalogQuery,
+    fq: Option<ForeverQuery>,
+}
+
+impl QueryContext {
+    fn new(file: &PfqFile, query: &Query) -> Result<QueryContext, String> {
+        let event = Event::tuple_in(query.relation.clone(), query.tuple.clone());
+        let need_program = |what: &str| -> Result<(), String> {
+            if file.program.is_none() {
+                return Err(format!("{what} queries need an @program block"));
+            }
+            Ok(())
+        };
+        let fq = match &query.semantics {
+            Semantics::InflationaryExact | Semantics::InflationarySample { .. } => {
+                need_program("inflationary")?;
+                None
+            }
+            Semantics::NoninflationaryExact
+            | Semantics::TimeAverage { .. }
+            | Semantics::BurnIn { .. } => {
+                need_program("noninflationary")?;
+                None
+            }
+            Semantics::KernelExact
+            | Semantics::KernelTimeAverage { .. }
+            | Semantics::KernelBurnIn { .. } => {
+                let kernels = file
+                    .kernels
+                    .clone()
+                    .ok_or("kernel queries need @kernel directives")?;
+                Some(ForeverQuery::new(kernels, event.clone()))
+            }
+        };
+        Ok(QueryContext {
+            dq: DatalogQuery::new(file.program.clone().unwrap_or_default(), event),
+            fq,
+        })
+    }
+
+    /// Builds the request a directive maps to. With `auto` set, exact
+    /// and sample directives leave strategy selection to the planner
+    /// (the `pfq plan` view); without it, each directive forces its
+    /// historical strategy so `pfq run` output stays byte-identical to
+    /// the pre-engine CLI. Directives naming an explicit sampling
+    /// algorithm (`time-average`, `burn-in N`) always pin it.
+    fn request<'a>(
+        &'a self,
+        db: &'a Database,
+        query: &Query,
+        options: &RunOptions,
+        auto: bool,
+    ) -> EvalRequest<'a> {
+        let pick = |forced: Strategy| if auto { Strategy::Auto } else { forced };
+        let request = match &query.semantics {
+            Semantics::InflationaryExact => {
+                EvalRequest::inflationary(&self.dq, db).with_strategy(pick(Strategy::ExactTree))
+            }
+            Semantics::InflationarySample {
+                epsilon,
+                delta,
+                seed,
+            } => EvalRequest::inflationary(&self.dq, db)
+                .with_strategy(pick(Strategy::SampleFixpoint))
+                .with_epsilon_delta(*epsilon, *delta)
+                .with_seed(options.seed.unwrap_or(*seed)),
+            Semantics::NoninflationaryExact => {
+                EvalRequest::noninflationary(&self.dq, db).with_strategy(pick(Strategy::ExactChain))
+            }
+            Semantics::TimeAverage { steps, seed } => EvalRequest::noninflationary(&self.dq, db)
+                .with_strategy(Strategy::TimeAverage { steps: *steps })
+                .with_seed(options.seed.unwrap_or(*seed)),
+            Semantics::BurnIn {
+                burn_in,
+                epsilon,
+                delta,
+                seed,
+            } => EvalRequest::noninflationary(&self.dq, db)
+                .with_strategy(Strategy::BurnInSample {
+                    burn_in: Some(*burn_in),
+                })
+                .with_epsilon_delta(*epsilon, *delta)
+                .with_seed(options.seed.unwrap_or(*seed)),
+            Semantics::KernelExact => {
+                EvalRequest::forever(self.fq.as_ref().expect("kernel context"), db)
+                    .with_strategy(pick(Strategy::ExactChain))
+            }
+            Semantics::KernelTimeAverage { steps, seed } => {
+                EvalRequest::forever(self.fq.as_ref().expect("kernel context"), db)
+                    .with_strategy(Strategy::TimeAverage { steps: *steps })
+                    .with_seed(options.seed.unwrap_or(*seed))
+            }
+            Semantics::KernelBurnIn {
+                burn_in,
+                epsilon,
+                delta,
+                seed,
+            } => EvalRequest::forever(self.fq.as_ref().expect("kernel context"), db)
+                .with_strategy(Strategy::BurnInSample {
+                    burn_in: Some(*burn_in),
+                })
+                .with_epsilon_delta(*epsilon, *delta)
+                .with_seed(options.seed.unwrap_or(*seed)),
+        };
+        request
+            .with_threads(options.threads)
+            .with_adaptive(!options.no_adaptive)
+            .with_stationary_method(options.stationary_method)
+    }
+}
+
 /// Runs every query of a parsed file; results come back in file order.
 pub fn run(file: &PfqFile) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
     run_with_options(file, &RunOptions::default())
 }
 
-/// [`run`] with explicit execution options (threads, seed override,
-/// adaptive stopping).
+/// [`run`] with explicit execution options. This is the single core the
+/// other `run*` entry points wrap: one [`Engine`] (hence one cache) for
+/// the whole file.
 pub fn run_with_options(
     file: &PfqFile,
     options: &RunOptions,
 ) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
-    // One cache for the whole file: exact queries share interned states
-    // and memoized transition rows across directives.
-    let mut cache = EvalCache::default();
+    let mut engine = Engine::new();
     let mut out = Vec::new();
     for query in &file.queries {
-        out.push(run_query(file, query, options, &mut cache)?);
+        out.push(run_query(file, query, options, &mut engine)?);
     }
     Ok(out)
 }
@@ -120,120 +282,45 @@ fn run_query(
     file: &PfqFile,
     query: &Query,
     options: &RunOptions,
-    cache: &mut EvalCache,
+    engine: &mut Engine,
 ) -> Result<QueryResult, Box<dyn std::error::Error>> {
-    let event = Event::tuple_in(query.relation.clone(), query.tuple.clone());
-    let program = |what: &str| -> Result<&Program, String> {
-        file.program
-            .as_ref()
-            .ok_or_else(|| format!("{what} queries need an @program block"))
-    };
-    let kernel_query = |what: &str| -> Result<ForeverQuery, String> {
-        let kernels = file
-            .kernels
-            .clone()
-            .ok_or_else(|| format!("{what} queries need @kernel directives"))?;
-        Ok(ForeverQuery::new(kernels, event.clone()))
-    };
-    let dq = DatalogQuery::new(file.program.clone().unwrap_or_default(), event.clone());
+    let ctx = QueryContext::new(file, query)?;
+    let request = ctx.request(&file.database, query, options, false);
+    let outcome = engine.run(&request)?;
     let value = match &query.semantics {
         Semantics::InflationaryExact => {
-            program("inflationary")?;
-            let p = exact_inflationary::evaluate_with_cache(
-                &dq,
-                &file.database,
-                ExactBudget::default(),
-                cache,
-            )?;
+            let p = outcome.value.exact().expect("forced exact-tree plan");
             format!("p = {p} (= {:.6}, exact)", p.to_f64())
         }
-        Semantics::InflationarySample {
-            epsilon,
-            delta,
-            seed,
-        } => {
-            program("inflationary")?;
-            let config = options.sampler_config(*seed);
-            let report = sample_inflationary::evaluate_with_config(
-                &dq,
-                &file.database,
-                *epsilon,
-                *delta,
-                &config,
-            )?;
-            format_report(&report, format_args!("ε = {epsilon}, δ = {delta}"))
-        }
-        Semantics::NoninflationaryExact => {
-            program("noninflationary")?;
-            let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let p = exact_noninflationary::evaluate_with_cache_and_method(
-                &fq,
-                &prepared,
-                ChainBudget::default(),
-                cache,
-                options.stationary_method,
-            )?;
+        Semantics::NoninflationaryExact | Semantics::KernelExact => {
+            let p = outcome.value.exact().expect("forced exact-chain plan");
             format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
         }
-        Semantics::TimeAverage { steps, seed } => {
-            program("noninflationary")?;
-            let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let mut rng = ChaCha8Rng::seed_from_u64(options.seed.unwrap_or(*seed));
-            let avg = mixing_sampler::evaluate_time_average(&fq, &prepared, *steps, &mut rng)?;
-            format!("p ≈ {avg:.6} (time average over {steps} steps)")
+        Semantics::InflationarySample { epsilon, delta, .. } => {
+            let report = outcome.report.as_ref().expect("sampling plan");
+            format_report(report, format_args!("ε = {epsilon}, δ = {delta}"))
+        }
+        Semantics::TimeAverage { steps, .. } | Semantics::KernelTimeAverage { steps, .. } => {
+            format!(
+                "p ≈ {:.6} (time average over {steps} steps)",
+                outcome.value.to_f64()
+            )
         }
         Semantics::BurnIn {
             burn_in,
             epsilon,
             delta,
-            seed,
-        } => {
-            program("noninflationary")?;
-            let (fq, prepared) = dq.to_forever_query(&file.database)?;
-            let config = options.sampler_config(*seed);
-            let report = mixing_sampler::evaluate_with_burn_in_config(
-                &fq, &prepared, *burn_in, *epsilon, *delta, &config,
-            )?;
-            format_report(
-                &report,
-                format_args!("burn-in {burn_in}, ε = {epsilon}, δ = {delta}"),
-            )
+            ..
         }
-        Semantics::KernelExact => {
-            let fq = kernel_query("kernel")?;
-            let p = exact_noninflationary::evaluate_with_cache_and_method(
-                &fq,
-                &file.database,
-                ChainBudget::default(),
-                cache,
-                options.stationary_method,
-            )?;
-            format!("p = {p} (= {:.6}, exact long-run)", p.to_f64())
-        }
-        Semantics::KernelTimeAverage { steps, seed } => {
-            let fq = kernel_query("kernel")?;
-            let mut rng = ChaCha8Rng::seed_from_u64(options.seed.unwrap_or(*seed));
-            let avg = mixing_sampler::evaluate_time_average(&fq, &file.database, *steps, &mut rng)?;
-            format!("p ≈ {avg:.6} (time average over {steps} steps)")
-        }
-        Semantics::KernelBurnIn {
+        | Semantics::KernelBurnIn {
             burn_in,
             epsilon,
             delta,
-            seed,
+            ..
         } => {
-            let fq = kernel_query("kernel")?;
-            let config = options.sampler_config(*seed);
-            let report = mixing_sampler::evaluate_with_burn_in_config(
-                &fq,
-                &file.database,
-                *burn_in,
-                *epsilon,
-                *delta,
-                &config,
-            )?;
+            let report = outcome.report.as_ref().expect("sampling plan");
             format_report(
-                &report,
+                report,
                 format_args!("burn-in {burn_in}, ε = {epsilon}, δ = {delta}"),
             )
         }
@@ -241,7 +328,8 @@ fn run_query(
     Ok(QueryResult {
         directive: query.source.clone(),
         value,
-        stats: options.stats.then(|| cache.stats().to_string()),
+        stats: options.stats.then(|| engine.stats().to_string()),
+        plan: options.explain.then(|| outcome.plan.to_string()),
     })
 }
 
@@ -255,8 +343,7 @@ pub fn run_source_with_options(
     src: &str,
     options: &RunOptions,
 ) -> Result<Vec<QueryResult>, Box<dyn std::error::Error>> {
-    let file = parse_file(src)?;
-    run_with_options(&file, options)
+    run_with_options(&parse_file(src)?, options)
 }
 
 /// Parses and runs a `.pfq` file from disk.
@@ -272,6 +359,62 @@ pub fn run_file_with_options(
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     run_source_with_options(&src, options)
+}
+
+/// Plans every query of a parsed file without executing anything,
+/// rendering each directive with its indented plan tree — the `pfq plan`
+/// view. Exact and sample directives are planned with
+/// [`Strategy::Auto`], so the output shows the planner's eligibility
+/// analysis (a sample directive over a small computation tree plans as
+/// exact-tree, a negation-free non-inflationary query as §5.1
+/// partitioning, …); `time-average` and `burn-in N` directives pin
+/// their algorithm. The rendering is deterministic — no wall times.
+pub fn plan_with_options(
+    file: &PfqFile,
+    options: &RunOptions,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    let mut out = String::new();
+    for query in &file.queries {
+        let plan = plan_query(file, query, options, &mut engine)?;
+        out.push_str(&query.source);
+        out.push('\n');
+        for line in plan.lines() {
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+fn plan_query(
+    file: &PfqFile,
+    query: &Query,
+    options: &RunOptions,
+    engine: &mut Engine,
+) -> Result<Plan, Box<dyn std::error::Error>> {
+    let ctx = QueryContext::new(file, query)?;
+    let request = ctx.request(&file.database, query, options, true);
+    Ok(engine.plan(&request)?)
+}
+
+/// Parses and plans a `.pfq` source string (see [`plan_with_options`]).
+pub fn plan_source_with_options(
+    src: &str,
+    options: &RunOptions,
+) -> Result<String, Box<dyn std::error::Error>> {
+    plan_with_options(&parse_file(src)?, options)
+}
+
+/// Parses and plans a `.pfq` file from disk (see [`plan_with_options`]).
+pub fn plan_file_with_options(
+    path: &std::path::Path,
+    options: &RunOptions,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    plan_source_with_options(&src, options)
 }
 
 #[cfg(test)]
@@ -432,15 +575,8 @@ mod tests {
 
     #[test]
     fn options_reproduce_estimates_across_thread_counts() {
-        let one = RunOptions {
-            threads: 1,
-            seed: Some(99),
-            ..RunOptions::default()
-        };
-        let four = RunOptions {
-            threads: 4,
-            ..one.clone()
-        };
+        let one = RunOptions::default().with_threads(1).with_seed(99);
+        let four = one.clone().with_threads(4);
         let a = run_source_with_options(FORK, &one).unwrap();
         let b = run_source_with_options(FORK, &four).unwrap();
         // The sampled line is identical up to the wall-time stat.
@@ -450,10 +586,7 @@ mod tests {
 
     #[test]
     fn no_adaptive_draws_full_hoeffding_count() {
-        let options = RunOptions {
-            no_adaptive: true,
-            ..RunOptions::default()
-        };
+        let options = RunOptions::default().with_no_adaptive(true);
         let results = run_source_with_options(FORK, &options).unwrap();
         // ε = δ = 0.05 → m = ⌈ln(40)/0.005⌉ = 738 samples, never fewer.
         assert!(
@@ -479,10 +612,7 @@ mod tests {
 @query inflationary exact event C(w)
 @query inflationary exact event C(u)
 "#;
-        let options = RunOptions {
-            stats: true,
-            ..RunOptions::default()
-        };
+        let options = RunOptions::default().with_stats(true);
         let a = run_source_with_options(src, &options).unwrap();
         let b = run_source_with_options(src, &options).unwrap();
         assert_eq!(a, b, "stats output must be deterministic");
@@ -515,14 +645,8 @@ mod tests {
 }
 @query noninflationary exact event C(1)
 "#;
-        let dense = RunOptions {
-            stationary_method: StationaryMethod::DenseReference,
-            ..RunOptions::default()
-        };
-        let gth = RunOptions {
-            stationary_method: StationaryMethod::SparseGth,
-            ..RunOptions::default()
-        };
+        let dense = RunOptions::default().with_stationary_method(StationaryMethod::DenseReference);
+        let gth = RunOptions::default().with_stationary_method(StationaryMethod::SparseGth);
         assert_eq!(
             run_source_with_options(src, &dense).unwrap(),
             run_source_with_options(src, &gth).unwrap()
@@ -538,5 +662,68 @@ mod tests {
         assert_eq!(results.len(), 2);
         std::fs::remove_file(&path).ok();
         assert!(run_file(std::path::Path::new("/nonexistent/x.pfq")).is_err());
+    }
+
+    #[test]
+    fn explain_attaches_the_executed_plan() {
+        let options = RunOptions::default().with_explain(true);
+        let results = run_source_with_options(FORK, &options).unwrap();
+        let exact_plan = results[0].plan.as_deref().unwrap();
+        assert!(exact_plan.starts_with("plan: exact-tree"), "{exact_plan}");
+        assert!(exact_plan.contains("strategy fixed by caller"));
+        let sample_plan = results[1].plan.as_deref().unwrap();
+        assert!(
+            sample_plan.starts_with("plan: sample-fixpoint"),
+            "{sample_plan}"
+        );
+        // Rendering indents every plan line under the directive.
+        assert!(render_results(&results).contains("\n  plan: exact-tree"));
+        // Without --explain, no plan is attached.
+        assert_eq!(run_source(FORK).unwrap()[0].plan, None);
+    }
+
+    #[test]
+    fn plan_source_shows_auto_analysis() {
+        let rendered = plan_source_with_options(FORK, &RunOptions::default()).unwrap();
+        // The exact directive plans as exact-tree after the probe…
+        assert!(rendered.contains("plan: exact-tree"), "{rendered}");
+        // …and the *sample* directive does too: the planner sees the
+        // computation tree fits the probe, so sampling is unnecessary.
+        assert!(!rendered.contains("plan: sample-fixpoint"), "{rendered}");
+        assert!(
+            rendered.contains("computation tree fits within the 20000-node probe"),
+            "{rendered}"
+        );
+        // Nothing was executed, so the output carries no result lines.
+        assert!(!rendered.contains("p ="), "{rendered}");
+        // Planning is deterministic.
+        assert_eq!(
+            rendered,
+            plan_source_with_options(FORK, &RunOptions::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn plan_pins_explicit_sampling_directives() {
+        let src = r#"
+@relation E(i, j, p) {
+  (0, 1, 1)
+  (1, 0, 1)
+  (1, 1, 1)
+}
+@relation C(c0) {
+  (0)
+}
+@program {
+  C(Y) @P :- C(X), E(X, Y, P).
+}
+@query noninflationary time-average steps 20000 seed 2 event C(1)
+@query noninflationary burn-in 50 epsilon 0.1 delta 0.05 seed 2 event C(1)
+"#;
+        let rendered = plan_source_with_options(src, &RunOptions::default()).unwrap();
+        assert!(rendered.contains("plan: time-average"), "{rendered}");
+        assert!(rendered.contains("steps: 20000"), "{rendered}");
+        assert!(rendered.contains("plan: burn-in-sample"), "{rendered}");
+        assert!(rendered.contains("burn-in: 50 steps"), "{rendered}");
     }
 }

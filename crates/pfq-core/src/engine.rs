@@ -1,0 +1,1390 @@
+//! The unified query engine: one request type, one planner, one
+//! executor for every evaluation algorithm in the crate.
+//!
+//! The paper gives a trichotomy of evaluation paths — exact
+//! (Prop. 4.4 / Thm. 5.5), `(ε, δ)`-approximate (Thm. 4.3 / Thm. 5.6)
+//! and partitioned (§5.1) — and four PRs of infrastructure added caches,
+//! solvers and sampling knobs to each. This module collapses the
+//! resulting `evaluate_with_{cache,method,config,…}` matrix behind a
+//! single pipeline:
+//!
+//! ```text
+//! EvalRequest ──Planner──▶ Plan ──Engine──▶ EvalOutcome
+//! ```
+//!
+//! * [`EvalRequest`] names the task (which query over which input) plus
+//!   budgets, seed, cache and solver overrides, built fluently.
+//! * [`Planner`] analyzes the request — negation-freedom and §5.1
+//!   partitioning eligibility, chain/tree size probes against the
+//!   budgets, `auto_burn_in` wiring — and emits an explainable [`Plan`]
+//!   with a deterministic [`Display`](std::fmt::Display) rendering.
+//! * [`Engine`] executes any plan over its shared [`EvalCache`] and
+//!   returns an [`EvalOutcome`]: the value, the plan actually taken,
+//!   the sampling report (if any), cache statistics and wall time.
+//!
+//! The legacy `evaluate*` free functions in the evaluator modules are
+//! thin wrappers over this engine; because the engine composes the same
+//! exact rational-arithmetic primitives (and the same `(seed, index)`
+//! keyed trial streams), the wrappers are bit-identical by construction
+//! — pinned by `tests/engine_differential.rs`.
+//!
+//! This is the same move safe-plan systems make for probabilistic
+//! queries (the Dalvi–Suciu dichotomy: take the cheap path exactly when
+//! the query is eligible for it), applied to this paper's
+//! exact/approximate/partitioned trichotomy.
+
+use crate::cache::CacheConfig;
+use crate::exact_inflationary::{self, ExactBudget};
+use crate::exact_noninflationary::{self, ChainBudget};
+use crate::sample_inflationary::{self, hoeffding_sample_count};
+use crate::sampler::{SampleReport, SamplerConfig};
+use crate::{mixing_sampler, partition, CacheStats, CoreError, DatalogQuery, EvalCache};
+use pfq_ctable::PcDatabase;
+use pfq_data::Database;
+use pfq_datalog::inflationary::{enumerate_fixpoints, enumerate_fixpoints_memo};
+use pfq_datalog::DatalogError;
+use pfq_markov::StationaryMethod;
+use pfq_num::Ratio;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Node ceiling the planner probes exact inflationary evaluation with
+/// when the request leaves the node budget unbounded.
+pub const AUTO_NODE_CEILING: usize = 20_000;
+
+/// World ceiling for auto exact eligibility of pc-table inputs when the
+/// request leaves the world budget unbounded.
+pub const AUTO_WORLD_CEILING: usize = 1_024;
+
+/// Burn-in used by Thm 5.6 restart sampling when the mixing time cannot
+/// be measured (chain over budget or not ergodic).
+pub const DEFAULT_BURN_IN: usize = 50;
+
+/// Step ceiling for the planner's `auto_burn_in` mixing-time search.
+pub const AUTO_MIXING_MAX_T: usize = 10_000;
+
+/// What is being evaluated: a query paired with its input. Requests
+/// borrow the query and input, so building one is free.
+#[derive(Clone, Copy, Debug)]
+pub enum Task<'a> {
+    /// §3.3 inflationary datalog semantics over a certain database.
+    Inflationary {
+        /// The program plus event.
+        query: &'a DatalogQuery,
+        /// The input database.
+        db: &'a Database,
+    },
+    /// Inflationary semantics over a probabilistic c-table (§3.2).
+    InflationaryPc {
+        /// The program plus event.
+        query: &'a DatalogQuery,
+        /// The pc-table input.
+        input: &'a PcDatabase,
+    },
+    /// §3.3 non-inflationary datalog semantics (translated to a
+    /// forever-query over the prepared database).
+    Noninflationary {
+        /// The program plus event.
+        query: &'a DatalogQuery,
+        /// The input database.
+        db: &'a Database,
+    },
+    /// A Definition 3.2 forever-query over a raw transition kernel.
+    Forever {
+        /// The kernel plus event.
+        query: &'a crate::ForeverQuery,
+        /// The input database.
+        db: &'a Database,
+    },
+}
+
+/// The task family, used in plans and error messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Inflationary datalog over a certain database.
+    Inflationary,
+    /// Inflationary datalog over a pc-table.
+    InflationaryPc,
+    /// Non-inflationary datalog.
+    Noninflationary,
+    /// Forever-query over a raw kernel.
+    Forever,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskKind::Inflationary => "inflationary datalog query",
+            TaskKind::InflationaryPc => "inflationary datalog query over a pc-table",
+            TaskKind::Noninflationary => "non-inflationary datalog query",
+            TaskKind::Forever => "forever-query over a raw kernel",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Task<'_> {
+    /// The task family.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            Task::Inflationary { .. } => TaskKind::Inflationary,
+            Task::InflationaryPc { .. } => TaskKind::InflationaryPc,
+            Task::Noninflationary { .. } => TaskKind::Noninflationary,
+            Task::Forever { .. } => TaskKind::Forever,
+        }
+    }
+}
+
+/// The caller's strategy choice: [`Strategy::Auto`] lets the planner
+/// pick; everything else forces one evaluation path (the legacy entry
+/// points force their historical path, keeping them bit-identical).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Let the planner choose by eligibility and budget probes.
+    Auto,
+    /// Prop. 4.4 exact computation-tree traversal.
+    ExactTree,
+    /// Thm. 4.3 `(ε, δ)`-sampling (ε/δ from the request).
+    SampleFixpoint,
+    /// Thm. 5.5 explicit chain plus exact long-run solve.
+    ExactChain,
+    /// §5.1 provenance partitioning (negation-free datalog only).
+    Partitioned,
+    /// Single-walk time average over a fixed step count.
+    TimeAverage {
+        /// Kernel steps to walk.
+        steps: usize,
+    },
+    /// Thm. 5.6 restart sampling; `burn_in: None` asks the planner to
+    /// measure the mixing time ([`mixing_sampler::auto_burn_in`]).
+    BurnInSample {
+        /// Kernel steps per sample before observing, if fixed.
+        burn_in: Option<usize>,
+    },
+}
+
+/// One evaluation request: a task plus every knob the evaluators take.
+///
+/// Built fluently:
+///
+/// ```
+/// # use pfq_core::engine::{EvalRequest, Strategy};
+/// # use pfq_core::{DatalogQuery, Event};
+/// # use pfq_data::{tuple, Database};
+/// let query = DatalogQuery::parse("C(v).", Event::tuple_in("C", tuple!["v"])).unwrap();
+/// let db = Database::new();
+/// let request = EvalRequest::inflationary(&query, &db)
+///     .with_strategy(Strategy::Auto)
+///     .with_seed(7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvalRequest<'a> {
+    task: Task<'a>,
+    strategy: Strategy,
+    exact_budget: ExactBudget,
+    chain_budget: ChainBudget,
+    seed: u64,
+    threads: usize,
+    adaptive: bool,
+    epsilon: f64,
+    delta: f64,
+    cache_config: CacheConfig,
+    method: StationaryMethod,
+}
+
+impl<'a> EvalRequest<'a> {
+    fn new(task: Task<'a>) -> EvalRequest<'a> {
+        EvalRequest {
+            task,
+            strategy: Strategy::Auto,
+            exact_budget: ExactBudget::default(),
+            chain_budget: ChainBudget::default(),
+            seed: 0,
+            threads: 0,
+            adaptive: true,
+            epsilon: 0.05,
+            delta: 0.05,
+            cache_config: CacheConfig::default(),
+            method: StationaryMethod::default(),
+        }
+    }
+
+    /// An inflationary datalog request over a certain database.
+    pub fn inflationary(query: &'a DatalogQuery, db: &'a Database) -> EvalRequest<'a> {
+        EvalRequest::new(Task::Inflationary { query, db })
+    }
+
+    /// An inflationary datalog request over a pc-table input.
+    pub fn inflationary_pc(query: &'a DatalogQuery, input: &'a PcDatabase) -> EvalRequest<'a> {
+        EvalRequest::new(Task::InflationaryPc { query, input })
+    }
+
+    /// A non-inflationary datalog request (translated to a forever-query
+    /// during planning/execution).
+    pub fn noninflationary(query: &'a DatalogQuery, db: &'a Database) -> EvalRequest<'a> {
+        EvalRequest::new(Task::Noninflationary { query, db })
+    }
+
+    /// A forever-query request over a raw kernel.
+    pub fn forever(query: &'a crate::ForeverQuery, db: &'a Database) -> EvalRequest<'a> {
+        EvalRequest::new(Task::Forever { query, db })
+    }
+
+    /// The task under evaluation.
+    pub fn task(&self) -> &Task<'a> {
+        &self.task
+    }
+
+    /// Forces (or un-forces, with [`Strategy::Auto`]) a strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the exact inflationary budget (nodes/worlds).
+    pub fn with_exact_budget(mut self, budget: ExactBudget) -> Self {
+        self.exact_budget = budget;
+        self
+    }
+
+    /// Sets the explicit-chain budget (states/worlds per step).
+    pub fn with_chain_budget(mut self, budget: ChainBudget) -> Self {
+        self.chain_budget = budget;
+        self
+    }
+
+    /// Sets the root seed for every sampling path (same seed ⇒
+    /// bit-identical estimates at any thread count).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sampling worker-thread count (`0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables adaptive early stopping for sampling paths.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Sets the `(ε, δ)` tolerance used by sampling strategies (and by
+    /// the planner's sampling fallbacks).
+    pub fn with_epsilon_delta(mut self, epsilon: f64, delta: f64) -> Self {
+        self.epsilon = epsilon;
+        self.delta = delta;
+        self
+    }
+
+    /// Routes exact evaluation through the legacy un-memoized reference
+    /// paths when disabled.
+    pub fn with_cache_config(mut self, config: CacheConfig) -> Self {
+        self.cache_config = config;
+        self
+    }
+
+    /// Sets the exact linear-algebra backend for long-run solves.
+    pub fn with_stationary_method(mut self, method: StationaryMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    fn sampler_config(&self) -> SamplerConfig {
+        SamplerConfig {
+            seed: self.seed,
+            threads: self.threads,
+            adaptive: self.adaptive,
+            ..SamplerConfig::default()
+        }
+    }
+}
+
+/// The concrete action a plan executes — one per evaluation algorithm.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanAction {
+    /// Prop. 4.4 exact computation-tree traversal.
+    ExactTree {
+        /// Node/world budgets for the traversal.
+        budget: ExactBudget,
+    },
+    /// Thm. 4.3 `(ε, δ)`-sampling.
+    SampleFixpoint {
+        /// Absolute error bound.
+        epsilon: f64,
+        /// Failure probability.
+        delta: f64,
+        /// The Hoeffding worst-case sample count.
+        worst_case: usize,
+        /// Root RNG seed.
+        seed: u64,
+    },
+    /// Thm. 5.5 explicit chain plus exact long-run solve.
+    ExactChain {
+        /// State/world budgets for chain construction.
+        budget: ChainBudget,
+        /// Exact linear-algebra backend.
+        method: StationaryMethod,
+    },
+    /// §5.1 partitioned evaluation, one chain per independence class.
+    Partitioned {
+        /// Number of independence classes.
+        classes: usize,
+        /// Per-class chain budget.
+        budget: ChainBudget,
+        /// Exact linear-algebra backend for the per-class solves.
+        method: StationaryMethod,
+    },
+    /// Single-walk time average.
+    TimeAverage {
+        /// Kernel steps to walk.
+        steps: usize,
+        /// Walk RNG seed.
+        seed: u64,
+    },
+    /// Thm. 5.6 restart sampling.
+    BurnInSample {
+        /// Kernel steps per sample before observing.
+        burn_in: usize,
+        /// Absolute error bound.
+        epsilon: f64,
+        /// Failure probability.
+        delta: f64,
+        /// The Hoeffding worst-case sample count.
+        worst_case: usize,
+        /// Root RNG seed.
+        seed: u64,
+    },
+}
+
+impl PlanAction {
+    /// Stable kebab-case name of the action.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanAction::ExactTree { .. } => "exact-tree",
+            PlanAction::SampleFixpoint { .. } => "sample-fixpoint",
+            PlanAction::ExactChain { .. } => "exact-chain",
+            PlanAction::Partitioned { .. } => "partitioned",
+            PlanAction::TimeAverage { .. } => "time-average",
+            PlanAction::BurnInSample { .. } => "burn-in-sample",
+        }
+    }
+
+    /// Whether executing this action yields an exact [`Ratio`].
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            PlanAction::ExactTree { .. }
+                | PlanAction::ExactChain { .. }
+                | PlanAction::Partitioned { .. }
+        )
+    }
+}
+
+/// An explainable evaluation plan: the chosen action plus the planner's
+/// notes on why it was chosen. `Display` renders a deterministic,
+/// golden-testable tree (no wall times, no addresses).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The task family the plan was made for.
+    pub task: TaskKind,
+    /// The action to execute.
+    pub action: PlanAction,
+    /// Human-readable eligibility notes, in planning order.
+    pub notes: Vec<String>,
+}
+
+impl Plan {
+    /// The rendered plan, line by line (no trailing newline).
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let headline = match &self.action {
+            PlanAction::ExactTree { .. } => "exact-tree (Prop 4.4 computation-tree traversal)",
+            PlanAction::SampleFixpoint { .. } => "sample-fixpoint (Thm 4.3 (ε, δ)-sampling)",
+            PlanAction::ExactChain { .. } => {
+                "exact-chain (Thm 5.5 explicit chain + exact long-run solve)"
+            }
+            PlanAction::Partitioned { .. } => "partitioned (§5.1 provenance partitioning)",
+            PlanAction::TimeAverage { .. } => "time-average (single-walk baseline)",
+            PlanAction::BurnInSample { .. } => "burn-in-sample (Thm 5.6 restart sampling)",
+        };
+        out.push(format!("plan: {headline}"));
+        out.push(format!("  task: {}", self.task));
+        let fmt_opt = |limit: Option<usize>| match limit {
+            Some(n) => n.to_string(),
+            None => "unbounded".to_string(),
+        };
+        match &self.action {
+            PlanAction::ExactTree { budget } => {
+                out.push(format!("  node budget: {}", fmt_opt(budget.node_budget)));
+                if self.task == TaskKind::InflationaryPc {
+                    out.push(format!("  world budget: {}", fmt_opt(budget.world_budget)));
+                }
+            }
+            PlanAction::SampleFixpoint {
+                epsilon,
+                delta,
+                worst_case,
+                seed,
+            } => {
+                out.push(format!(
+                    "  ε = {epsilon}, δ = {delta} → ≤{worst_case} samples"
+                ));
+                out.push(format!("  seed: {seed}"));
+            }
+            PlanAction::ExactChain { budget, method } => {
+                out.push(format!(
+                    "  chain budget: ≤{} states, ≤{} worlds/step",
+                    budget.max_states, budget.world_limit
+                ));
+                out.push(format!("  stationary solver: {method}"));
+            }
+            PlanAction::Partitioned {
+                classes,
+                budget,
+                method,
+            } => {
+                out.push(format!("  classes: {classes}"));
+                out.push(format!(
+                    "  per-class chain budget: ≤{} states, ≤{} worlds/step",
+                    budget.max_states, budget.world_limit
+                ));
+                out.push(format!("  stationary solver: {method}"));
+            }
+            PlanAction::TimeAverage { steps, seed } => {
+                out.push(format!("  steps: {steps}"));
+                out.push(format!("  seed: {seed}"));
+            }
+            PlanAction::BurnInSample {
+                burn_in,
+                epsilon,
+                delta,
+                worst_case,
+                seed,
+            } => {
+                out.push(format!("  burn-in: {burn_in} steps"));
+                out.push(format!(
+                    "  ε = {epsilon}, δ = {delta} → ≤{worst_case} samples"
+                ));
+                out.push(format!("  seed: {seed}"));
+            }
+        }
+        if !self.notes.is_empty() {
+            out.push("  notes:".to_string());
+            for note in &self.notes {
+                out.push(format!("    - {note}"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    /// Writes [`Plan::lines`] joined by newlines, with no trailing
+    /// newline (callers add their own indentation).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, line) in self.lines().iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            f.write_str(line)?;
+        }
+        Ok(())
+    }
+}
+
+/// An evaluation result: exact rational or sampled estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalValue {
+    /// An exact probability.
+    Exact(Ratio),
+    /// A sampled estimate.
+    Estimate(f64),
+}
+
+impl EvalValue {
+    /// The value as a float (exact results converted).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            EvalValue::Exact(r) => r.to_f64(),
+            EvalValue::Estimate(e) => *e,
+        }
+    }
+
+    /// The exact rational, if the plan produced one.
+    pub fn exact(&self) -> Option<&Ratio> {
+        match self {
+            EvalValue::Exact(r) => Some(r),
+            EvalValue::Estimate(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for EvalValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalValue::Exact(r) => write!(f, "{r}"),
+            EvalValue::Estimate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The outcome of one engine run: the value, the plan actually taken,
+/// the sampling report (for sampling plans), cache statistics after the
+/// run, and wall-clock accounting.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome {
+    /// The evaluation result.
+    pub value: EvalValue,
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// The sampling engine's report, for sampling plans.
+    pub report: Option<SampleReport>,
+    /// Cumulative cache statistics of the engine after this run.
+    pub stats: CacheStats,
+    /// Wall time of planning plus execution.
+    pub wall: Duration,
+}
+
+impl EvalOutcome {
+    /// Unwraps an exact result (error if the plan sampled instead —
+    /// cannot happen for forced exact strategies).
+    pub fn into_exact(self) -> Result<Ratio, CoreError> {
+        match self.value {
+            EvalValue::Exact(r) => Ok(r),
+            EvalValue::Estimate(_) => Err(CoreError::BadParameter(format!(
+                "plan {} produced an estimate, not an exact result",
+                self.plan.action.name()
+            ))),
+        }
+    }
+
+    /// Unwraps the sampling report (error if the plan was exact).
+    pub fn into_report(self) -> Result<SampleReport, CoreError> {
+        self.report.ok_or_else(|| {
+            CoreError::BadParameter(format!(
+                "plan {} produced no sampling report",
+                self.plan.action.name()
+            ))
+        })
+    }
+}
+
+/// The planner: pure analysis from request (plus cache, for probes whose
+/// work the executor then reuses) to [`Plan`]. Deterministic: the same
+/// request always yields the same plan, warm or cold cache.
+pub struct Planner;
+
+/// Whether `e` is a budget/feasibility error (exact path over budget)
+/// rather than a structural error worth propagating.
+fn is_budget_error(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Datalog(DatalogError::BudgetExceeded { .. })
+            | CoreError::Chain(pfq_markov::ChainError::StateLimitExceeded { .. })
+            | CoreError::Algebra(pfq_algebra::AlgebraError::WorldLimitExceeded { .. })
+    )
+}
+
+impl Planner {
+    /// Plans `request`. Probes run through `cache` (when the request
+    /// enables caching), so exact work done while planning is reused by
+    /// the executor.
+    pub fn plan(request: &EvalRequest<'_>, cache: &mut EvalCache) -> Result<Plan, CoreError> {
+        match request.strategy {
+            Strategy::Auto => Self::auto(request, cache),
+            _ => Self::forced(request),
+        }
+    }
+
+    fn forced(request: &EvalRequest<'_>) -> Result<Plan, CoreError> {
+        let kind = request.task.kind();
+        let fixed = "strategy fixed by caller".to_string();
+        let plan = |action: PlanAction, notes: Vec<String>| Plan {
+            task: kind,
+            action,
+            notes,
+        };
+        let mismatch = |strategy: &str| {
+            Err(CoreError::BadParameter(format!(
+                "strategy {strategy} does not apply to a {kind}"
+            )))
+        };
+        match (request.strategy, &request.task) {
+            (Strategy::Auto, _) => unreachable!("handled by Planner::plan"),
+            (Strategy::ExactTree, Task::Inflationary { .. } | Task::InflationaryPc { .. }) => {
+                Ok(plan(
+                    PlanAction::ExactTree {
+                        budget: request.exact_budget,
+                    },
+                    vec![fixed],
+                ))
+            }
+            (Strategy::ExactTree, _) => mismatch("exact-tree"),
+            (Strategy::SampleFixpoint, Task::Inflationary { .. } | Task::InflationaryPc { .. }) => {
+                let worst_case = hoeffding_sample_count(request.epsilon, request.delta)?;
+                Ok(plan(
+                    PlanAction::SampleFixpoint {
+                        epsilon: request.epsilon,
+                        delta: request.delta,
+                        worst_case,
+                        seed: request.seed,
+                    },
+                    vec![fixed],
+                ))
+            }
+            (Strategy::SampleFixpoint, _) => mismatch("sample-fixpoint"),
+            (Strategy::ExactChain, Task::Noninflationary { .. } | Task::Forever { .. }) => {
+                Ok(plan(
+                    PlanAction::ExactChain {
+                        budget: request.chain_budget,
+                        method: request.method,
+                    },
+                    vec![fixed],
+                ))
+            }
+            (Strategy::ExactChain, _) => mismatch("exact-chain"),
+            (Strategy::Partitioned, Task::Noninflationary { query, db }) => {
+                let classes = partition::partition_classes(&query.program, db)?;
+                Ok(plan(
+                    PlanAction::Partitioned {
+                        classes: classes.len(),
+                        budget: request.chain_budget,
+                        method: request.method,
+                    },
+                    vec![fixed],
+                ))
+            }
+            (Strategy::Partitioned, _) => mismatch("partitioned"),
+            (
+                Strategy::TimeAverage { steps },
+                Task::Noninflationary { .. } | Task::Forever { .. },
+            ) => Ok(plan(
+                PlanAction::TimeAverage {
+                    steps,
+                    seed: request.seed,
+                },
+                vec![fixed],
+            )),
+            (Strategy::TimeAverage { .. }, _) => mismatch("time-average"),
+            (
+                Strategy::BurnInSample { burn_in },
+                Task::Noninflationary { .. } | Task::Forever { .. },
+            ) => {
+                let worst_case = hoeffding_sample_count(request.epsilon, request.delta)?;
+                let mut notes = vec![fixed];
+                let burn_in = match burn_in {
+                    Some(b) => b,
+                    None => Self::auto_burn_in(request, &mut notes)?,
+                };
+                Ok(plan(
+                    PlanAction::BurnInSample {
+                        burn_in,
+                        epsilon: request.epsilon,
+                        delta: request.delta,
+                        worst_case,
+                        seed: request.seed,
+                    },
+                    notes,
+                ))
+            }
+            (Strategy::BurnInSample { .. }, _) => mismatch("burn-in-sample"),
+        }
+    }
+
+    /// Measures the mixing time for a burn-in request with no explicit
+    /// depth, falling back to [`DEFAULT_BURN_IN`] when the chain is over
+    /// budget or not ergodic.
+    fn auto_burn_in(
+        request: &EvalRequest<'_>,
+        notes: &mut Vec<String>,
+    ) -> Result<usize, CoreError> {
+        let translated;
+        let (fq, db): (&crate::ForeverQuery, &Database) = match &request.task {
+            Task::Forever { query, db } => (query, db),
+            Task::Noninflationary { query, db } => {
+                translated = query.to_forever_query(db).map_err(CoreError::Datalog)?;
+                (&translated.0, &translated.1)
+            }
+            _ => unreachable!("burn-in applies to non-inflationary tasks only"),
+        };
+        match mixing_sampler::auto_burn_in(
+            fq,
+            db,
+            request.epsilon,
+            AUTO_MIXING_MAX_T,
+            request.chain_budget,
+        ) {
+            Ok(Some(t)) => {
+                notes.push(format!(
+                    "auto burn-in: t({}) = {t} measured on the explicit chain",
+                    request.epsilon
+                ));
+                Ok(t)
+            }
+            Ok(None) => {
+                notes.push(format!(
+                    "chain does not mix within {AUTO_MIXING_MAX_T} steps; \
+                     using default burn-in {DEFAULT_BURN_IN}"
+                ));
+                Ok(DEFAULT_BURN_IN)
+            }
+            Err(e) if is_budget_error(&e) => {
+                notes.push(format!(
+                    "mixing time unavailable ({e}); using default burn-in {DEFAULT_BURN_IN}"
+                ));
+                Ok(DEFAULT_BURN_IN)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn auto(request: &EvalRequest<'_>, cache: &mut EvalCache) -> Result<Plan, CoreError> {
+        match &request.task {
+            Task::Inflationary { query, db } => {
+                let probe_nodes = request
+                    .exact_budget
+                    .node_budget
+                    .unwrap_or(AUTO_NODE_CEILING);
+                let mut notes = Vec::new();
+                let probe = if cache.enabled() {
+                    enumerate_fixpoints_memo(
+                        &query.program,
+                        db,
+                        Some(probe_nodes),
+                        &mut cache.fixpoints,
+                    )
+                    .map(|_| ())
+                } else {
+                    notes.push("cache disabled: probe work is not reused".to_string());
+                    enumerate_fixpoints(&query.program, db, Some(probe_nodes)).map(|_| ())
+                };
+                match probe.map_err(CoreError::Datalog) {
+                    Ok(()) => {
+                        notes.push(format!(
+                            "computation tree fits within the {probe_nodes}-node probe"
+                        ));
+                        Ok(Plan {
+                            task: TaskKind::Inflationary,
+                            action: PlanAction::ExactTree {
+                                budget: request.exact_budget,
+                            },
+                            notes,
+                        })
+                    }
+                    Err(e) if is_budget_error(&e) => {
+                        notes.push(format!(
+                            "computation tree exceeds the {probe_nodes}-node probe; \
+                             falling back to Thm 4.3 sampling"
+                        ));
+                        let worst_case = hoeffding_sample_count(request.epsilon, request.delta)?;
+                        Ok(Plan {
+                            task: TaskKind::Inflationary,
+                            action: PlanAction::SampleFixpoint {
+                                epsilon: request.epsilon,
+                                delta: request.delta,
+                                worst_case,
+                                seed: request.seed,
+                            },
+                            notes,
+                        })
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Task::InflationaryPc { input, .. } => {
+                let cap = request
+                    .exact_budget
+                    .world_budget
+                    .unwrap_or(AUTO_WORLD_CEILING);
+                // Deterministic upper bound on distinct input worlds:
+                // the product of the variables' outcome counts.
+                let estimate = input
+                    .variables()
+                    .iter()
+                    .fold(1usize, |acc, v| acc.saturating_mul(v.outcomes().len()));
+                if estimate <= cap {
+                    Ok(Plan {
+                        task: TaskKind::InflationaryPc,
+                        action: PlanAction::ExactTree {
+                            budget: request.exact_budget,
+                        },
+                        notes: vec![format!("pc-table worlds: ≤{estimate} (cap {cap})")],
+                    })
+                } else {
+                    let worst_case = hoeffding_sample_count(request.epsilon, request.delta)?;
+                    Ok(Plan {
+                        task: TaskKind::InflationaryPc,
+                        action: PlanAction::SampleFixpoint {
+                            epsilon: request.epsilon,
+                            delta: request.delta,
+                            worst_case,
+                            seed: request.seed,
+                        },
+                        notes: vec![format!(
+                            "estimated ≤{estimate} pc-table worlds exceed the cap {cap}; \
+                             falling back to Thm 4.3 sampling"
+                        )],
+                    })
+                }
+            }
+            Task::Noninflationary { query, db } => {
+                let mut notes = Vec::new();
+                if query.program.has_negation() {
+                    notes.push("program uses negation: §5.1 partitioning ineligible".to_string());
+                } else {
+                    let classes = partition::partition_classes(&query.program, db)?;
+                    if classes.len() >= 2 {
+                        notes.push(format!(
+                            "program is negation-free: {} independence classes",
+                            classes.len()
+                        ));
+                        return Ok(Plan {
+                            task: TaskKind::Noninflationary,
+                            action: PlanAction::Partitioned {
+                                classes: classes.len(),
+                                budget: request.chain_budget,
+                                method: request.method,
+                            },
+                            notes,
+                        });
+                    }
+                    notes.push(
+                        "program is negation-free but has a single independence class".to_string(),
+                    );
+                }
+                let (fq, prepared) = query.to_forever_query(db).map_err(CoreError::Datalog)?;
+                Self::chain_or_burn_in(request, &fq, &prepared, cache, notes)
+            }
+            Task::Forever { query, db } => {
+                Self::chain_or_burn_in(request, query, db, cache, Vec::new())
+            }
+        }
+    }
+
+    /// Probes explicit-chain construction under the budget: exact chain
+    /// evaluation when it fits, Thm 5.6 restart sampling otherwise.
+    fn chain_or_burn_in(
+        request: &EvalRequest<'_>,
+        fq: &crate::ForeverQuery,
+        db: &Database,
+        cache: &mut EvalCache,
+        mut notes: Vec<String>,
+    ) -> Result<Plan, CoreError> {
+        let kind = request.task.kind();
+        let probe = if cache.enabled() {
+            exact_noninflationary::build_chain_interned(fq, db, request.chain_budget, cache)
+                .map(|chain| chain.len())
+        } else {
+            notes.push("cache disabled: probe work is not reused".to_string());
+            exact_noninflationary::build_chain(fq, db, request.chain_budget)
+                .map(|chain| chain.len())
+        };
+        match probe {
+            Ok(states) => {
+                notes.push(format!(
+                    "explicit chain fits: {states} states (≤{} budget)",
+                    request.chain_budget.max_states
+                ));
+                Ok(Plan {
+                    task: kind,
+                    action: PlanAction::ExactChain {
+                        budget: request.chain_budget,
+                        method: request.method,
+                    },
+                    notes,
+                })
+            }
+            Err(e) if is_budget_error(&e) => {
+                notes.push(format!(
+                    "explicit chain over budget ({e}); falling back to Thm 5.6 restart sampling \
+                     with default burn-in {DEFAULT_BURN_IN}"
+                ));
+                let worst_case = hoeffding_sample_count(request.epsilon, request.delta)?;
+                Ok(Plan {
+                    task: kind,
+                    action: PlanAction::BurnInSample {
+                        burn_in: DEFAULT_BURN_IN,
+                        epsilon: request.epsilon,
+                        delta: request.delta,
+                        worst_case,
+                        seed: request.seed,
+                    },
+                    notes,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The engine: owns the shared [`EvalCache`] and executes plans.
+pub struct Engine {
+    cache: EvalCache,
+}
+
+impl Engine {
+    /// An engine with a fresh enabled cache.
+    pub fn new() -> Engine {
+        Engine {
+            cache: EvalCache::default(),
+        }
+    }
+
+    /// An engine over an existing cache (e.g. pre-warmed).
+    pub fn with_cache(cache: EvalCache) -> Engine {
+        Engine { cache }
+    }
+
+    /// The engine's cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Cumulative cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Plans `request` without executing it (the `pfq plan` entry
+    /// point). Probes warm the engine's cache, so a following
+    /// [`Engine::run`] reuses their work.
+    pub fn plan(&mut self, request: &EvalRequest<'_>) -> Result<Plan, CoreError> {
+        if request.cache_config.enabled {
+            Planner::plan(request, &mut self.cache)
+        } else {
+            Planner::plan(request, &mut EvalCache::new(CacheConfig::disabled()))
+        }
+    }
+
+    /// Plans and executes `request`.
+    pub fn run(&mut self, request: &EvalRequest<'_>) -> Result<EvalOutcome, CoreError> {
+        let start = Instant::now();
+        let (plan, value, report) = if request.cache_config.enabled {
+            let plan = Planner::plan(request, &mut self.cache)?;
+            let (value, report) = execute_action(request, &plan, &mut self.cache)?;
+            (plan, value, report)
+        } else {
+            // A disabled cache routes through the legacy reference
+            // paths; scratch state never touches the engine's cache.
+            let mut scratch = EvalCache::new(CacheConfig::disabled());
+            let plan = Planner::plan(request, &mut scratch)?;
+            let (value, report) = execute_action(request, &plan, &mut scratch)?;
+            (plan, value, report)
+        };
+        Ok(EvalOutcome {
+            value,
+            plan,
+            report,
+            stats: self.cache.stats(),
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Executes a previously computed plan (plans are self-contained —
+    /// re-planning is not needed, only plan/task compatibility).
+    pub fn execute(
+        &mut self,
+        request: &EvalRequest<'_>,
+        plan: &Plan,
+    ) -> Result<EvalOutcome, CoreError> {
+        let start = Instant::now();
+        let (value, report) = if request.cache_config.enabled {
+            execute_action(request, plan, &mut self.cache)?
+        } else {
+            execute_action(request, plan, &mut EvalCache::new(CacheConfig::disabled()))?
+        };
+        Ok(EvalOutcome {
+            value,
+            plan: plan.clone(),
+            report,
+            stats: self.cache.stats(),
+            wall: start.elapsed(),
+        })
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Executes one plan action over the given cache. Every arm delegates to
+/// the same primitive the corresponding legacy entry point uses, which
+/// is what makes the legacy wrappers bit-identical by construction.
+fn execute_action(
+    request: &EvalRequest<'_>,
+    plan: &Plan,
+    cache: &mut EvalCache,
+) -> Result<(EvalValue, Option<SampleReport>), CoreError> {
+    let config = request.sampler_config();
+    match (&plan.action, &request.task) {
+        (PlanAction::ExactTree { budget }, Task::Inflationary { query, db }) => {
+            let p = exact_inflationary::eval_with_cache_impl(query, db, *budget, cache)?;
+            Ok((EvalValue::Exact(p), None))
+        }
+        (PlanAction::ExactTree { budget }, Task::InflationaryPc { query, input }) => {
+            let p = exact_inflationary::eval_pc_with_cache_impl(query, input, *budget, cache)?;
+            Ok((EvalValue::Exact(p), None))
+        }
+        (PlanAction::SampleFixpoint { epsilon, delta, .. }, Task::Inflationary { query, db }) => {
+            let report =
+                sample_inflationary::evaluate_with_config(query, db, *epsilon, *delta, &config)?;
+            Ok((EvalValue::Estimate(report.estimate), Some(report)))
+        }
+        (
+            PlanAction::SampleFixpoint { epsilon, delta, .. },
+            Task::InflationaryPc { query, input },
+        ) => {
+            let report = sample_inflationary::evaluate_pc_with_config(
+                query, input, *epsilon, *delta, &config,
+            )?;
+            Ok((EvalValue::Estimate(report.estimate), Some(report)))
+        }
+        (PlanAction::ExactChain { budget, method }, Task::Noninflationary { query, db }) => {
+            let (fq, prepared) = query.to_forever_query(db).map_err(CoreError::Datalog)?;
+            let p = exact_noninflationary::eval_with_cache_and_method_impl(
+                &fq, &prepared, *budget, cache, *method,
+            )?;
+            Ok((EvalValue::Exact(p), None))
+        }
+        (PlanAction::ExactChain { budget, method }, Task::Forever { query, db }) => {
+            let p = exact_noninflationary::eval_with_cache_and_method_impl(
+                query, db, *budget, cache, *method,
+            )?;
+            Ok((EvalValue::Exact(p), None))
+        }
+        (PlanAction::Partitioned { budget, method, .. }, Task::Noninflationary { query, db }) => {
+            let p = partition::evaluate_partitioned_with(query, db, *budget, cache, *method)?;
+            Ok((EvalValue::Exact(p), None))
+        }
+        (PlanAction::TimeAverage { steps, seed }, task) => {
+            let translated;
+            let (fq, db): (&crate::ForeverQuery, &Database) = match task {
+                Task::Forever { query, db } => (query, db),
+                Task::Noninflationary { query, db } => {
+                    translated = query.to_forever_query(db).map_err(CoreError::Datalog)?;
+                    (&translated.0, &translated.1)
+                }
+                _ => {
+                    return Err(CoreError::BadParameter(
+                        "time-average plan does not match an inflationary task".into(),
+                    ))
+                }
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(*seed);
+            let avg = mixing_sampler::evaluate_time_average(fq, db, *steps, &mut rng)?;
+            Ok((EvalValue::Estimate(avg), None))
+        }
+        (
+            PlanAction::BurnInSample {
+                burn_in,
+                epsilon,
+                delta,
+                ..
+            },
+            task,
+        ) => {
+            let translated;
+            let (fq, db): (&crate::ForeverQuery, &Database) = match task {
+                Task::Forever { query, db } => (query, db),
+                Task::Noninflationary { query, db } => {
+                    translated = query.to_forever_query(db).map_err(CoreError::Datalog)?;
+                    (&translated.0, &translated.1)
+                }
+                _ => {
+                    return Err(CoreError::BadParameter(
+                        "burn-in plan does not match an inflationary task".into(),
+                    ))
+                }
+            };
+            let report = mixing_sampler::evaluate_with_burn_in_config(
+                fq, db, *burn_in, *epsilon, *delta, &config,
+            )?;
+            Ok((EvalValue::Estimate(report.estimate), Some(report)))
+        }
+        (action, task) => Err(CoreError::BadParameter(format!(
+            "plan {} does not match a {}",
+            action.name(),
+            task.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+    use pfq_data::{tuple, Relation, Schema, Value};
+
+    fn fork_query(target: &str) -> DatalogQuery {
+        DatalogQuery::parse(
+            "C(v).\nC2(X!, Y) @P :- C(X), E(X, Y, P).\nC(Y) :- C2(X, Y).",
+            Event::tuple_in("C", tuple![target]),
+        )
+        .unwrap()
+    }
+
+    fn fork_db() -> Database {
+        Database::new().with(
+            "E",
+            Relation::from_rows(
+                Schema::new(["i", "j", "p"]),
+                [
+                    tuple!["v", "w", Value::frac(1, 2)],
+                    tuple!["v", "u", Value::frac(1, 2)],
+                ],
+            ),
+        )
+    }
+
+    /// Two independent weighted coins (from `partition.rs`'s tests):
+    /// negation-free, two independence classes.
+    fn coin_case() -> (DatalogQuery, Database) {
+        let db = Database::new().with(
+            "R",
+            Relation::from_rows(
+                Schema::new(["k", "v", "w"]),
+                [
+                    tuple![1, 0, 1],
+                    tuple![1, 1, 3],
+                    tuple![2, 0, 1],
+                    tuple![2, 1, 1],
+                ],
+            ),
+        );
+        let program = pfq_datalog::parse_program("H(K!, V) @W :- R(K, V, W).").unwrap();
+        (
+            DatalogQuery::new(program, Event::tuple_in("H", tuple![1, 1])),
+            db,
+        )
+    }
+
+    #[test]
+    fn auto_inflationary_picks_exact_tree_when_small() {
+        let query = fork_query("w");
+        let db = fork_db();
+        let mut engine = Engine::new();
+        let outcome = engine.run(&EvalRequest::inflationary(&query, &db)).unwrap();
+        assert!(matches!(outcome.plan.action, PlanAction::ExactTree { .. }));
+        assert_eq!(outcome.value, EvalValue::Exact(Ratio::new(1, 2)));
+        // The probe evaluated the tree, so execution was a memo hit.
+        assert_eq!(outcome.stats.result_hits, 1);
+    }
+
+    #[test]
+    fn auto_inflationary_falls_back_to_sampling_over_budget() {
+        let query = fork_query("w");
+        let db = fork_db();
+        let mut engine = Engine::new();
+        let request = EvalRequest::inflationary(&query, &db)
+            .with_exact_budget(ExactBudget {
+                node_budget: Some(1),
+                world_budget: None,
+            })
+            .with_epsilon_delta(0.2, 0.1)
+            .with_seed(3)
+            .with_threads(1);
+        let outcome = engine.run(&request).unwrap();
+        assert!(matches!(
+            outcome.plan.action,
+            PlanAction::SampleFixpoint { .. }
+        ));
+        let report = outcome.report.expect("sampling plan carries a report");
+        assert!((report.estimate - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn auto_noninflationary_prefers_partitioning() {
+        let (query, db) = coin_case();
+        let mut engine = Engine::new();
+        let outcome = engine
+            .run(&EvalRequest::noninflationary(&query, &db))
+            .unwrap();
+        assert!(matches!(
+            outcome.plan.action,
+            PlanAction::Partitioned { classes: 2, .. }
+        ));
+        assert_eq!(outcome.value, EvalValue::Exact(Ratio::new(3, 4)));
+    }
+
+    #[test]
+    fn auto_never_partitions_negation() {
+        let program = pfq_datalog::parse_program(
+            "H(K!, V) @W :- R(K, V, W).\nM(K, V) :- R(K, V, W), not H(K, V).",
+        )
+        .unwrap();
+        let (_, db) = coin_case();
+        let query = DatalogQuery::new(program, Event::tuple_in("H", tuple![1, 1]));
+        let mut engine = Engine::new();
+        let plan = engine
+            .plan(&EvalRequest::noninflationary(&query, &db))
+            .unwrap();
+        assert!(!matches!(plan.action, PlanAction::Partitioned { .. }));
+        assert!(
+            plan.notes.iter().any(|n| n.contains("negation")),
+            "{:?}",
+            plan.notes
+        );
+    }
+
+    #[test]
+    fn auto_chain_over_budget_falls_back_to_burn_in() {
+        let (query, db) = coin_case();
+        let mut engine = Engine::new();
+        // One class would partition; force the whole-chain probe by
+        // using the kernel task, with a 1-state budget.
+        let (fq, prepared) = query.to_forever_query(&db).unwrap();
+        let request = EvalRequest::forever(&fq, &prepared)
+            .with_chain_budget(ChainBudget {
+                max_states: 1,
+                world_limit: 100_000,
+            })
+            .with_epsilon_delta(0.2, 0.1)
+            .with_seed(5)
+            .with_threads(1);
+        let outcome = engine.run(&request).unwrap();
+        match outcome.plan.action {
+            PlanAction::BurnInSample { burn_in, .. } => assert_eq!(burn_in, DEFAULT_BURN_IN),
+            ref other => panic!("expected burn-in fallback, got {other:?}"),
+        }
+        assert!(outcome.report.is_some());
+    }
+
+    #[test]
+    fn forced_strategy_mismatch_is_rejected() {
+        let (query, db) = coin_case();
+        let (fq, prepared) = query.to_forever_query(&db).unwrap();
+        let mut engine = Engine::new();
+        let err = engine
+            .run(&EvalRequest::forever(&fq, &prepared).with_strategy(Strategy::ExactTree))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadParameter(_)), "{err}");
+        let err = engine
+            .run(&EvalRequest::inflationary(&query, &db).with_strategy(Strategy::Partitioned))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BadParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn forced_burn_in_auto_measures_mixing_time() {
+        // Lazy two-state flip (from mixing_sampler's tests): mixes fast.
+        let e = Relation::from_rows(
+            Schema::new(["i", "j", "p"]),
+            [
+                tuple![1, 1, 3],
+                tuple![1, 2, 1],
+                tuple![2, 1, 1],
+                tuple![2, 2, 3],
+            ],
+        );
+        let c = Relation::from_rows(Schema::new(["i"]), [tuple![1]]);
+        let db = Database::new().with("E", e).with("C", c);
+        let kernel = pfq_algebra::Interpretation::new().with(
+            "C",
+            pfq_algebra::Expr::rel("C")
+                .join(pfq_algebra::Expr::rel("E"))
+                .repair_key(["i"], Some("p"))
+                .project(["j"])
+                .rename([("j", "i")]),
+        );
+        let fq = crate::ForeverQuery::new(kernel, Event::tuple_in("C", tuple![1]));
+        let mut engine = Engine::new();
+        let plan = engine
+            .plan(
+                &EvalRequest::forever(&fq, &db)
+                    .with_strategy(Strategy::BurnInSample { burn_in: None })
+                    .with_epsilon_delta(0.03125, 0.05),
+            )
+            .unwrap();
+        match plan.action {
+            PlanAction::BurnInSample { burn_in, .. } => assert_eq!(burn_in, 4),
+            ref other => panic!("expected burn-in plan, got {other:?}"),
+        }
+        assert!(plan.notes.iter().any(|n| n.contains("auto burn-in")));
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_cache_warmth_invariant() {
+        let (query, db) = coin_case();
+        let mut engine = Engine::new();
+        let request = EvalRequest::noninflationary(&query, &db);
+        let cold = engine.plan(&request).unwrap();
+        engine.run(&request).unwrap();
+        let warm = engine.plan(&request).unwrap();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn plan_display_is_stable() {
+        let plan = Plan {
+            task: TaskKind::Noninflationary,
+            action: PlanAction::ExactChain {
+                budget: ChainBudget::default(),
+                method: StationaryMethod::SparseGth,
+            },
+            notes: vec!["explicit chain fits: 3 states (≤100000 budget)".into()],
+        };
+        assert_eq!(
+            plan.to_string(),
+            "plan: exact-chain (Thm 5.5 explicit chain + exact long-run solve)\n\
+             \x20 task: non-inflationary datalog query\n\
+             \x20 chain budget: ≤100000 states, ≤100000 worlds/step\n\
+             \x20 stationary solver: gth\n\
+             \x20 notes:\n\
+             \x20   - explicit chain fits: 3 states (≤100000 budget)"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_stays_empty() {
+        let query = fork_query("w");
+        let db = fork_db();
+        let mut engine = Engine::new();
+        let outcome = engine
+            .run(&EvalRequest::inflationary(&query, &db).with_cache_config(CacheConfig::disabled()))
+            .unwrap();
+        assert_eq!(outcome.value, EvalValue::Exact(Ratio::new(1, 2)));
+        assert_eq!(outcome.stats, CacheStats::default());
+        assert!(outcome
+            .plan
+            .notes
+            .iter()
+            .any(|n| n.contains("cache disabled")));
+    }
+
+    #[test]
+    fn execute_reruns_a_plan() {
+        let query = fork_query("w");
+        let db = fork_db();
+        let mut engine = Engine::new();
+        let request = EvalRequest::inflationary(&query, &db).with_strategy(Strategy::ExactTree);
+        let first = engine.run(&request).unwrap();
+        let second = engine.execute(&request, &first.plan).unwrap();
+        assert_eq!(first.value, second.value);
+        // Mismatched plan/task pairs are rejected.
+        let (cq, cdb) = coin_case();
+        let bad = EvalRequest::noninflationary(&cq, &cdb);
+        assert!(engine.execute(&bad, &first.plan).is_err());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let query = fork_query("w");
+        let db = fork_db();
+        let mut engine = Engine::new();
+        let outcome = engine
+            .run(&EvalRequest::inflationary(&query, &db).with_strategy(Strategy::ExactTree))
+            .unwrap();
+        assert_eq!(outcome.value.to_f64(), 0.5);
+        assert!(outcome.value.exact().is_some());
+        assert!(outcome.clone().into_report().is_err());
+        assert_eq!(outcome.into_exact().unwrap(), Ratio::new(1, 2));
+    }
+}

@@ -7,6 +7,7 @@
 //! over its possible worlds first (§3.2: pc-table choices are made
 //! *once*, at the beginning).
 
+use crate::engine::{Engine, EvalRequest, Strategy};
 use crate::{CoreError, DatalogQuery, EvalCache};
 use pfq_ctable::PcDatabase;
 use pfq_data::Database;
@@ -14,7 +15,7 @@ use pfq_datalog::inflationary::{enumerate_fixpoints, enumerate_fixpoints_memo};
 use pfq_num::Ratio;
 
 /// Resource limits for exact evaluation; both default to unbounded.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExactBudget {
     /// Maximum computation-tree nodes to expand per input world.
     pub node_budget: Option<usize>,
@@ -23,14 +24,23 @@ pub struct ExactBudget {
 }
 
 /// Computes the exact probability of the query event over a certain
-/// (non-probabilistic) input database. Runs on a fresh private cache;
-/// use [`evaluate_with_cache`] to share memoized work across calls.
+/// (non-probabilistic) input database. Thin wrapper over
+/// [`crate::engine`] with a forced [`Strategy::ExactTree`] plan — a
+/// fresh engine means a fresh private cache, exactly as before.
+///
+/// [`Strategy::ExactTree`]: crate::engine::Strategy::ExactTree
 pub fn evaluate(
     query: &DatalogQuery,
     db: &Database,
     budget: ExactBudget,
 ) -> Result<Ratio, CoreError> {
-    evaluate_with_cache(query, db, budget, &mut EvalCache::default())
+    Engine::new()
+        .run(
+            &EvalRequest::inflationary(query, db)
+                .with_strategy(Strategy::ExactTree)
+                .with_exact_budget(budget),
+        )?
+        .into_exact()
 }
 
 /// Like [`evaluate`], but threads an explicit [`EvalCache`]: repeated
@@ -38,7 +48,20 @@ pub fn evaluate(
 /// whole-tree result memo, and distinct inputs still share interned
 /// states and successor rows. A disabled cache routes through the legacy
 /// un-memoized [`enumerate_fixpoints`] reference path.
+#[deprecated(note = "use pfq_core::engine")]
 pub fn evaluate_with_cache(
+    query: &DatalogQuery,
+    db: &Database,
+    budget: ExactBudget,
+    cache: &mut EvalCache,
+) -> Result<Ratio, CoreError> {
+    eval_with_cache_impl(query, db, budget, cache)
+}
+
+/// The Prop. 4.4 primitive the engine executes: exact traversal through
+/// an explicit cache (memoized when enabled, the legacy reference path
+/// when disabled).
+pub(crate) fn eval_with_cache_impl(
     query: &DatalogQuery,
     db: &Database,
     budget: ExactBudget,
@@ -54,22 +77,40 @@ pub fn evaluate_with_cache(
 }
 
 /// Computes the exact probability of the query event over a probabilistic
-/// c-table input: `Σ_worlds Pr(world) · Pr(event | world)`. Runs on a
-/// fresh private cache shared across the worlds; use
-/// [`evaluate_pc_with_cache`] to also share it across calls.
+/// c-table input: `Σ_worlds Pr(world) · Pr(event | world)`. Thin wrapper
+/// over [`crate::engine`] with a forced exact-tree plan; the fresh
+/// engine's cache is shared across the worlds, exactly as before.
 pub fn evaluate_pc(
     query: &DatalogQuery,
     input: &PcDatabase,
     budget: ExactBudget,
 ) -> Result<Ratio, CoreError> {
-    evaluate_pc_with_cache(query, input, budget, &mut EvalCache::default())
+    Engine::new()
+        .run(
+            &EvalRequest::inflationary_pc(query, input)
+                .with_strategy(Strategy::ExactTree)
+                .with_exact_budget(budget),
+        )?
+        .into_exact()
 }
 
 /// Like [`evaluate_pc`], but threads one [`EvalCache`] through every
 /// possible world of the pc-table, so worlds reuse each other's interned
 /// states and transition rows — §3.2 worlds differ in a handful of input
 /// tuples, leaving most of the computation tree shared.
+#[deprecated(note = "use pfq_core::engine")]
 pub fn evaluate_pc_with_cache(
+    query: &DatalogQuery,
+    input: &PcDatabase,
+    budget: ExactBudget,
+    cache: &mut EvalCache,
+) -> Result<Ratio, CoreError> {
+    eval_pc_with_cache_impl(query, input, budget, cache)
+}
+
+/// The §3.2 possible-worlds primitive the engine executes: enumerate the
+/// pc-table's worlds and mix the per-world exact results.
+pub(crate) fn eval_pc_with_cache_impl(
     query: &DatalogQuery,
     input: &PcDatabase,
     budget: ExactBudget,
@@ -86,13 +127,14 @@ pub fn evaluate_pc_with_cache(
     }
     let mut total = Ratio::zero();
     for (world, p) in worlds.iter() {
-        let conditional = evaluate_with_cache(query, world, budget, cache)?;
+        let conditional = eval_with_cache_impl(query, world, budget, cache)?;
         total = total.add_ref(&p.mul_ref(&conditional));
     }
     Ok(total)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are deliberately pinned here
 mod tests {
     use super::*;
     use crate::Event;

@@ -8,6 +8,7 @@
 //! result is the summed long-run probability of event states.
 
 use crate::cache::ChainCache;
+use crate::engine::{Engine, EvalRequest, Strategy};
 use crate::{CoreError, EvalCache, ForeverQuery};
 use pfq_algebra::AlgebraError;
 use pfq_data::intern::{fingerprint64, StateId};
@@ -19,7 +20,7 @@ use std::sync::Arc;
 
 /// Budgets for explicit chain construction; defaults are deliberately
 /// finite because the state space is exponential in the database size.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChainBudget {
     /// Maximum database states to explore.
     pub max_states: usize,
@@ -101,47 +102,71 @@ pub fn build_chain_interned(
 }
 
 /// The exact query result: the long-run probability that the event holds
-/// on the random walk of database instances started at `db`. Runs on a
-/// fresh private cache; use [`evaluate_with_cache`] to share memoized
-/// kernel rows across calls.
+/// on the random walk of database instances started at `db`. Thin
+/// wrapper over [`crate::engine`] with a forced
+/// [`Strategy::ExactChain`] plan — a fresh engine means a fresh private
+/// cache, exactly as before.
+///
+/// [`Strategy::ExactChain`]: crate::engine::Strategy::ExactChain
 pub fn evaluate(
     query: &ForeverQuery,
     db: &Database,
     budget: ChainBudget,
 ) -> Result<Ratio, CoreError> {
-    evaluate_with_cache(query, db, budget, &mut EvalCache::default())
+    Engine::new()
+        .run(
+            &EvalRequest::forever(query, db)
+                .with_strategy(Strategy::ExactChain)
+                .with_chain_budget(budget),
+        )?
+        .into_exact()
 }
 
 /// [`evaluate`] with an explicit choice of exact linear-algebra backend
 /// for the long-run solve — sparse GTH by default everywhere, the dense
 /// reference for differential testing and A/B timing. Both methods
 /// return bit-identical `Ratio` results.
+#[deprecated(note = "use pfq_core::engine")]
 pub fn evaluate_with_method(
     query: &ForeverQuery,
     db: &Database,
     budget: ChainBudget,
     method: StationaryMethod,
 ) -> Result<Ratio, CoreError> {
-    evaluate_with_cache_and_method(query, db, budget, &mut EvalCache::default(), method)
+    eval_with_cache_and_method_impl(query, db, budget, &mut EvalCache::default(), method)
 }
 
 /// Like [`evaluate`], but threads an explicit [`EvalCache`]: the chain
 /// is explored over interned states and kernel rows are shared across
 /// evaluations. A disabled cache routes through the legacy
 /// [`build_chain`] reference path.
+#[deprecated(note = "use pfq_core::engine")]
 pub fn evaluate_with_cache(
     query: &ForeverQuery,
     db: &Database,
     budget: ChainBudget,
     cache: &mut EvalCache,
 ) -> Result<Ratio, CoreError> {
-    evaluate_with_cache_and_method(query, db, budget, cache, StationaryMethod::default())
+    eval_with_cache_and_method_impl(query, db, budget, cache, StationaryMethod::default())
 }
 
 /// The fully explicit entry point: caching *and* stationary-method
-/// control ([`evaluate_with_cache`] and [`evaluate_with_method`] are
-/// thin wrappers over this).
+/// control.
+#[deprecated(note = "use pfq_core::engine")]
 pub fn evaluate_with_cache_and_method(
+    query: &ForeverQuery,
+    db: &Database,
+    budget: ChainBudget,
+    cache: &mut EvalCache,
+    method: StationaryMethod,
+) -> Result<Ratio, CoreError> {
+    eval_with_cache_and_method_impl(query, db, budget, cache, method)
+}
+
+/// The Thm. 5.5 primitive the engine executes: build the (interned or
+/// legacy) explicit chain, solve the long-run distribution with the
+/// chosen backend, and sum the event states' mass.
+pub(crate) fn eval_with_cache_and_method_impl(
     query: &ForeverQuery,
     db: &Database,
     budget: ChainBudget,
@@ -182,6 +207,7 @@ pub fn evaluate_with_cache_and_method(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated wrappers are deliberately pinned here
 mod tests {
     use super::*;
     use crate::Event;

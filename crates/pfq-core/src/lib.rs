@@ -27,8 +27,18 @@
 //! [`cache`]: states are hash-consed to dense ids and transition work is
 //! memoized per `(fingerprint, state)`, with an [`EvalCache`] shareable
 //! across queries and across the possible worlds of a pc-table.
+//!
+//! All of the above is unified behind the [`engine`] layer: an
+//! [`EvalRequest`] names the task and the knobs, the [`engine::Planner`]
+//! analyzes eligibility (negation-freedom, §5.1 partitioning, budget
+//! probes) and emits an explainable [`Plan`], and the [`Engine`]
+//! executes it. The per-module `evaluate*` free functions are thin
+//! wrappers over the engine kept for API stability; the combinatorial
+//! `*_with_cache`/`*_with_method` entry points are deprecated in its
+//! favor.
 
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod event;
 pub mod exact_inflationary;
@@ -40,6 +50,9 @@ pub mod sample_inflationary;
 pub mod sampler;
 
 pub use cache::{CacheConfig, CacheStats, EvalCache};
+pub use engine::{
+    Engine, EvalOutcome, EvalRequest, EvalValue, Plan, PlanAction, Strategy, Task, TaskKind,
+};
 pub use error::CoreError;
 pub use event::Event;
 pub use pfq_markov::StationaryMethod;

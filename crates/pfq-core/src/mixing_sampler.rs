@@ -12,6 +12,7 @@
 //! route is still available through [`auto_burn_in`], which measures the
 //! true mixing time on a budgeted chain for experiment calibration.
 
+use crate::engine::{Engine, EvalRequest, Strategy};
 use crate::exact_noninflationary::{build_chain, ChainBudget};
 use crate::sample_inflationary::{hoeffding_sample_count, SampleEstimate};
 use crate::sampler::{self, SampleReport, SamplerConfig};
@@ -54,9 +55,13 @@ pub fn evaluate_with_burn_in_config(
 /// Estimates the query probability by restart sampling: each of the `m`
 /// samples walks `burn_in` kernel steps from `db` and observes the event
 /// (the Theorem 5.6 procedure with `burn_in` standing in for `T(q, D)`).
-/// Thin wrapper over the parallel engine that always draws the full
-/// Hoeffding sample count (use [`evaluate_with_burn_in_config`] for
-/// early stopping and execution stats).
+/// Thin wrapper over [`crate::engine`] with a forced
+/// [`Strategy::BurnInSample`] plan and adaptivity off — always the full
+/// Hoeffding sample count, bit-identical to the old `run_fixed` path
+/// (use [`evaluate_with_burn_in_config`] for early stopping and
+/// execution stats).
+///
+/// [`Strategy::BurnInSample`]: crate::engine::Strategy::BurnInSample
 pub fn evaluate_with_burn_in<R: Rng + ?Sized>(
     query: &ForeverQuery,
     db: &Database,
@@ -65,10 +70,18 @@ pub fn evaluate_with_burn_in<R: Rng + ?Sized>(
     delta: f64,
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
-    let m = hoeffding_sample_count(epsilon, delta)?;
-    let config = SamplerConfig::seeded(rng.gen());
-    let report = sampler::run_fixed(&config, m, |rng| trial(query, db, burn_in, rng))?;
-    Ok(report.into())
+    // Validate (ε, δ) before consuming the caller's rng, as before.
+    hoeffding_sample_count(epsilon, delta)?;
+    let outcome = Engine::new().run(
+        &EvalRequest::forever(query, db)
+            .with_strategy(Strategy::BurnInSample {
+                burn_in: Some(burn_in),
+            })
+            .with_epsilon_delta(epsilon, delta)
+            .with_seed(rng.gen())
+            .with_adaptive(false),
+    )?;
+    Ok(outcome.into_report()?.into())
 }
 
 /// Estimates the query probability from a *single* long walk's time

@@ -20,11 +20,13 @@
 //! choice group could land in different classes and the independence
 //! assumption would be violated.
 
+use crate::engine::{Engine, EvalRequest, Strategy};
 use crate::exact_noninflationary::{self, ChainBudget};
-use crate::{CoreError, DatalogQuery};
+use crate::{CoreError, DatalogQuery, EvalCache};
 use pfq_data::{Database, Tuple};
 use pfq_datalog::eval::{head_key, instantiate_head, prepare_database, Valuation};
 use pfq_datalog::{Program, Term};
+use pfq_markov::StationaryMethod;
 use pfq_num::Ratio;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -230,17 +232,46 @@ pub fn partition_classes(program: &Program, db: &Database) -> Result<Vec<Databas
 
 /// Evaluates a (datalog-defined) non-inflationary query exactly via
 /// partitioning: per-class Theorem 5.5 evaluation combined by the §5.1
-/// product formula.
+/// product formula. Thin wrapper over [`crate::engine`] with a forced
+/// [`Strategy::Partitioned`] plan — the per-class solves share the fresh
+/// engine's cache.
+///
+/// [`Strategy::Partitioned`]: crate::engine::Strategy::Partitioned
 pub fn evaluate_partitioned(
     query: &DatalogQuery,
     db: &Database,
     budget: ChainBudget,
 ) -> Result<Ratio, CoreError> {
+    Engine::new()
+        .run(
+            &EvalRequest::noninflationary(query, db)
+                .with_strategy(Strategy::Partitioned)
+                .with_chain_budget(budget),
+        )?
+        .into_exact()
+}
+
+/// The §5.1 primitive the engine executes, with the full capability set
+/// the direct path has: the per-class Theorem 5.5 solves share one
+/// [`EvalCache`] (kernel rows memoized across classes — the per-class
+/// kernels differ only in their base tuples, so identical sub-states
+/// recur) and one [`StationaryMethod`]. Before the engine existed this
+/// path could use neither, silently pinning partitioned evaluation to
+/// fresh caches and the default solver.
+pub fn evaluate_partitioned_with(
+    query: &DatalogQuery,
+    db: &Database,
+    budget: ChainBudget,
+    cache: &mut EvalCache,
+    method: StationaryMethod,
+) -> Result<Ratio, CoreError> {
     let classes = partition_classes(&query.program, db)?;
     let mut p_not = Ratio::one();
     for class_db in &classes {
         let (fq, prepared) = query.to_forever_query(class_db)?;
-        let p = exact_noninflationary::evaluate(&fq, &prepared, budget)?;
+        let p = exact_noninflationary::eval_with_cache_and_method_impl(
+            &fq, &prepared, budget, cache, method,
+        )?;
         p_not = p_not.mul_ref(&Ratio::one().sub_ref(&p));
     }
     Ok(Ratio::one().sub_ref(&p_not))
@@ -337,6 +368,44 @@ mod tests {
         assert_eq!(direct, Ratio::new(7, 8));
         let partitioned = evaluate_partitioned(&query, &db, ChainBudget::default()).unwrap();
         assert_eq!(partitioned, direct);
+    }
+
+    #[test]
+    fn partitioned_capabilities_match_direct_dense() {
+        // Regression for the capability gap: partitioned evaluation with
+        // a shared cache and the GTH solver is bit-identical to the
+        // direct dense whole-database solve.
+        for event in [
+            Event::tuple_in("H", tuple![1, 1]),
+            Event::tuple_in("H", tuple![1, 1]).or(Event::tuple_in("H", tuple![2, 1])),
+            Event::tuple_in("H", tuple![9, 9]),
+        ] {
+            let query = DatalogQuery::new(coin_program(), event);
+            let db = coin_db();
+            let direct_dense = {
+                let (fq, prepared) = query.to_forever_query(&db).unwrap();
+                exact_noninflationary::eval_with_cache_and_method_impl(
+                    &fq,
+                    &prepared,
+                    ChainBudget::default(),
+                    &mut EvalCache::default(),
+                    StationaryMethod::DenseReference,
+                )
+                .unwrap()
+            };
+            let mut shared = EvalCache::default();
+            let partitioned = evaluate_partitioned_with(
+                &query,
+                &db,
+                ChainBudget::default(),
+                &mut shared,
+                StationaryMethod::SparseGth,
+            )
+            .unwrap();
+            assert_eq!(direct_dense, partitioned);
+            // The shared cache really was used across the class solves.
+            assert!(shared.stats().db_states > 0);
+        }
     }
 
     #[test]

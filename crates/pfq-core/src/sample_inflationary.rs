@@ -14,6 +14,7 @@
 //! classic `rng`-taking entry points below are thin deterministic
 //! wrappers that always draw the full Hoeffding sample count.
 
+use crate::engine::{Engine, EvalRequest, Strategy};
 use crate::sampler::{self, SampleReport, SamplerConfig};
 use crate::{CoreError, DatalogQuery};
 use pfq_ctable::PcDatabase;
@@ -129,8 +130,14 @@ pub fn evaluate_with_samples<R: Rng + ?Sized>(
 }
 
 /// Theorem 4.3 over a certain input: absolute `(ε, δ)`-approximation.
-/// Thin wrapper over the engine that always draws the full Hoeffding
-/// sample count (use [`evaluate_with_config`] for early stopping).
+/// Thin wrapper over [`crate::engine`] with a forced
+/// [`Strategy::SampleFixpoint`] plan and adaptivity off, which always
+/// draws the full Hoeffding sample count — bit-identical to the old
+/// `run_fixed` path because a non-adaptive `(ε, δ)` run *is* a fixed
+/// run of the worst-case count (use [`evaluate_with_config`] for early
+/// stopping).
+///
+/// [`Strategy::SampleFixpoint`]: crate::engine::Strategy::SampleFixpoint
 pub fn evaluate<R: Rng + ?Sized>(
     query: &DatalogQuery,
     db: &Database,
@@ -138,12 +145,20 @@ pub fn evaluate<R: Rng + ?Sized>(
     delta: f64,
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
-    let m = hoeffding_sample_count(epsilon, delta)?;
-    evaluate_with_samples(query, db, m, rng)
+    // Validate (ε, δ) before consuming the caller's rng, as before.
+    hoeffding_sample_count(epsilon, delta)?;
+    let outcome = Engine::new().run(
+        &EvalRequest::inflationary(query, db)
+            .with_strategy(Strategy::SampleFixpoint)
+            .with_epsilon_delta(epsilon, delta)
+            .with_seed(rng.gen())
+            .with_adaptive(false),
+    )?;
+    Ok(outcome.into_report()?.into())
 }
 
 /// Theorem 4.3 over a probabilistic c-table input. Thin wrapper over
-/// the engine, always drawing the full Hoeffding sample count.
+/// [`crate::engine`], always drawing the full Hoeffding sample count.
 pub fn evaluate_pc<R: Rng + ?Sized>(
     query: &DatalogQuery,
     input: &PcDatabase,
@@ -151,10 +166,15 @@ pub fn evaluate_pc<R: Rng + ?Sized>(
     delta: f64,
     rng: &mut R,
 ) -> Result<SampleEstimate, CoreError> {
-    let m = hoeffding_sample_count(epsilon, delta)?;
-    let config = SamplerConfig::seeded(rng.gen());
-    let report = sampler::run_fixed(&config, m, |rng| trial_pc(query, input, rng))?;
-    Ok(report.into())
+    hoeffding_sample_count(epsilon, delta)?;
+    let outcome = Engine::new().run(
+        &EvalRequest::inflationary_pc(query, input)
+            .with_strategy(Strategy::SampleFixpoint)
+            .with_epsilon_delta(epsilon, delta)
+            .with_seed(rng.gen())
+            .with_adaptive(false),
+    )?;
+    Ok(outcome.into_report()?.into())
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! | `StationaryDifferential` | dense GE vs sparse GTH (Thm 5.5) | bit-identical long-run probabilities |
 //! | `PartitionDifferential` | §5.1 partitioned vs whole chain | identical exact probabilities (negation-free only) |
 //! | `BurnInConsistency` | Thm 5.6 restart sampler vs exact `P^B` mass | `\|p̂ − p_B\| ≤ ε` at confidence `1 − δ` |
+//! | `PlannerDifferential` | engine `Strategy::Auto` vs every forced-eligible exact path | bit-identical exact probabilities |
 //!
 //! Budget exhaustion on a path is a *skip*, not a failure; any other
 //! disagreement (including one path erroring where its twin succeeds)
@@ -21,9 +22,13 @@
 
 use crate::gen::FuzzCase;
 use crate::mutants::{self, Fault};
+use pfq_core::exact_inflationary::ExactBudget;
 use pfq_core::exact_noninflationary::{self, ChainBudget};
 use pfq_core::sampler::SamplerConfig;
-use pfq_core::{mixing_sampler, partition, sample_inflationary, DatalogQuery, StationaryMethod};
+use pfq_core::{
+    mixing_sampler, partition, sample_inflationary, DatalogQuery, Engine, EvalRequest,
+    StationaryMethod, Strategy,
+};
 use pfq_data::Database;
 use pfq_datalog::inflationary::{enumerate_fixpoints, enumerate_fixpoints_memo, FixpointMemo};
 use pfq_datalog::{eval, DatalogError};
@@ -51,11 +56,14 @@ pub enum CheckId {
     PartitionDifferential,
     /// The Theorem 5.6 burn-in sampler matches the exact `B`-step mass.
     BurnInConsistency,
+    /// The planner's `Strategy::Auto` choice is bit-identical to every
+    /// forced exact path eligible for the same task.
+    PlannerDifferential,
 }
 
 impl CheckId {
     /// Every check, in reporting order.
-    pub const ALL: [CheckId; 9] = [
+    pub const ALL: [CheckId; 10] = [
         CheckId::MassConservation,
         CheckId::Monotonicity,
         CheckId::MemoDifferential,
@@ -65,6 +73,7 @@ impl CheckId {
         CheckId::StationaryDifferential,
         CheckId::PartitionDifferential,
         CheckId::BurnInConsistency,
+        CheckId::PlannerDifferential,
     ];
 
     /// Stable kebab-case name (CLI reporting).
@@ -79,6 +88,7 @@ impl CheckId {
             CheckId::StationaryDifferential => "stationary-differential",
             CheckId::PartitionDifferential => "partition-differential",
             CheckId::BurnInConsistency => "burn-in-consistency",
+            CheckId::PlannerDifferential => "planner-differential",
         }
     }
 }
@@ -96,6 +106,8 @@ pub struct PathSet {
     pub partition: bool,
     /// Burn-in restart sampling vs exact `P^B`.
     pub burn_in: bool,
+    /// Engine `Strategy::Auto` vs forced exact paths.
+    pub planner: bool,
 }
 
 impl Default for PathSet {
@@ -106,6 +118,7 @@ impl Default for PathSet {
             noninflationary: true,
             partition: true,
             burn_in: true,
+            planner: true,
         }
     }
 }
@@ -120,6 +133,7 @@ impl PathSet {
             noninflationary: false,
             partition: false,
             burn_in: false,
+            planner: false,
         };
         for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             match part {
@@ -129,6 +143,7 @@ impl PathSet {
                 "noninflationary" => set.noninflationary = true,
                 "partition" => set.partition = true,
                 "burn-in" | "burnin" => set.burn_in = true,
+                "planner" => set.planner = true,
                 _ => return None,
             }
         }
@@ -146,6 +161,7 @@ impl PathSet {
             CheckId::StationaryDifferential => self.noninflationary,
             CheckId::PartitionDifferential => self.partition,
             CheckId::BurnInConsistency => self.burn_in,
+            CheckId::PlannerDifferential => self.planner,
         }
     }
 }
@@ -291,6 +307,7 @@ impl Oracle {
             CheckId::StationaryDifferential => self.stationary_differential(case),
             CheckId::PartitionDifferential => self.partition_differential(case),
             CheckId::BurnInConsistency => self.burn_in_consistency(case, case_seed),
+            CheckId::PlannerDifferential => self.planner_differential(case),
         }
     }
 
@@ -499,12 +516,14 @@ impl Oracle {
             Err(e) => return Outcome::Skip(format!("no non-inflationary translation: {e}")),
         };
         let eval = |method: StationaryMethod| {
-            exact_noninflationary::evaluate_with_method(
-                &fq,
-                &prepared,
-                self.cfg.chain_budget,
-                method,
-            )
+            Engine::new()
+                .run(
+                    &EvalRequest::forever(&fq, &prepared)
+                        .with_strategy(Strategy::ExactChain)
+                        .with_chain_budget(self.cfg.chain_budget)
+                        .with_stationary_method(method),
+                )?
+                .into_exact()
         };
         match (
             eval(StationaryMethod::DenseReference),
@@ -622,6 +641,165 @@ impl Oracle {
             ))
         }
     }
+
+    /// The safe-plan property of the engine layer: whenever the
+    /// planner's [`Strategy::Auto`] settles on an exact path, its answer
+    /// must be bit-identical to *every* forced exact path eligible for
+    /// the same task. Sampling choices (probe over budget) are skips —
+    /// the sampler's accuracy has its own checks.
+    fn planner_differential(&self, case: &FuzzCase) -> Outcome {
+        let query = DatalogQuery::new(case.program.clone(), case.event());
+        let mut skips = Vec::new();
+        let mut compared = 0usize;
+
+        // Inflationary task: Auto vs the legacy Prop 4.4 enumeration.
+        let request = EvalRequest::inflationary(&query, &case.db).with_exact_budget(ExactBudget {
+            node_budget: Some(self.cfg.node_budget),
+            world_budget: None,
+        });
+        let mut engine = Engine::new();
+        let plan = match engine.plan(&request) {
+            Ok(p) => p,
+            Err(e) => return Outcome::Fail(format!("inflationary planning errored: {e}")),
+        };
+        if plan.action.is_exact() {
+            let auto = match engine.execute(&request, &plan) {
+                Ok(o) => o,
+                Err(e) => {
+                    return Outcome::Fail(format!(
+                        "planner chose {} but execution errored: {e}",
+                        plan.action.name()
+                    ));
+                }
+            };
+            let p = auto
+                .value
+                .exact()
+                .expect("exact plan yields an exact value");
+            match self.exact_event_probability(case) {
+                Ok(legacy) if *p == legacy => compared += 1,
+                Ok(legacy) => {
+                    return Outcome::Fail(format!(
+                        "planner-chosen {} probability {p} differs from legacy exact {legacy}",
+                        plan.action.name()
+                    ));
+                }
+                Err(DatalogError::BudgetExceeded { .. }) => {
+                    skips.push("legacy exact reference over budget".to_string());
+                }
+                Err(e) => {
+                    return Outcome::Fail(format!(
+                        "legacy exact reference errored where the planner chose {}: {e}",
+                        plan.action.name()
+                    ));
+                }
+            }
+        } else {
+            skips.push("inflationary probe over budget: planner chose sampling".to_string());
+        }
+
+        // Non-inflationary task: Auto vs forced exact-chain (both
+        // solvers) and forced §5.1 partitioning.
+        let request =
+            EvalRequest::noninflationary(&query, &case.db).with_chain_budget(self.cfg.chain_budget);
+        let mut engine = Engine::new();
+        let plan = match engine.plan(&request) {
+            Ok(p) => p,
+            Err(e) => {
+                // No non-inflationary translation (e.g. the program is
+                // not destructive-steppable) — nothing to compare.
+                skips.push(format!("non-inflationary planning unavailable: {e}"));
+                return self.planner_verdict(compared, skips);
+            }
+        };
+        if !plan.action.is_exact() {
+            skips.push("chain probe over budget: planner chose restart sampling".to_string());
+            return self.planner_verdict(compared, skips);
+        }
+        let auto = match engine.execute(&request, &plan) {
+            Ok(o) => o,
+            Err(e) => {
+                return Outcome::Fail(format!(
+                    "planner chose {} but execution errored: {e}",
+                    plan.action.name()
+                ));
+            }
+        };
+        let p_auto = auto
+            .value
+            .exact()
+            .expect("exact plan yields an exact value");
+        let mut forced: Vec<(&str, Strategy, StationaryMethod)> = vec![
+            (
+                "forced exact-chain (dense)",
+                Strategy::ExactChain,
+                StationaryMethod::DenseReference,
+            ),
+            (
+                "forced exact-chain (gth)",
+                Strategy::ExactChain,
+                StationaryMethod::SparseGth,
+            ),
+        ];
+        if !case.program.has_negation() {
+            forced.push((
+                "forced partitioned",
+                Strategy::Partitioned,
+                StationaryMethod::SparseGth,
+            ));
+        }
+        for (label, strategy, method) in forced {
+            let result = Engine::new()
+                .run(
+                    &EvalRequest::noninflationary(&query, &case.db)
+                        .with_strategy(strategy)
+                        .with_chain_budget(self.cfg.chain_budget)
+                        .with_stationary_method(method),
+                )
+                .and_then(|o| o.into_exact());
+            match result {
+                Ok(p) if p == *p_auto => compared += 1,
+                Ok(p) => {
+                    return Outcome::Fail(format!(
+                        "planner-chosen {} probability {p_auto} differs from {label}: {p}",
+                        plan.action.name()
+                    ));
+                }
+                // The whole chain can exceed a budget the per-class
+                // chains fit in (and vice versa): a skip, not a bug.
+                Err(e) if is_budget_error(&e) => skips.push(format!("{label} over budget: {e}")),
+                Err(e) => {
+                    return Outcome::Fail(format!(
+                        "{label} errored where the planner-chosen {} succeeded: {e}",
+                        plan.action.name()
+                    ));
+                }
+            }
+        }
+        self.planner_verdict(compared, skips)
+    }
+
+    /// Pass if at least one forced path was compared; otherwise a skip
+    /// carrying every reason no comparison was possible.
+    fn planner_verdict(&self, compared: usize, skips: Vec<String>) -> Outcome {
+        if compared > 0 {
+            Outcome::Pass
+        } else {
+            Outcome::Skip(format!("no eligible exact path: {}", skips.join("; ")))
+        }
+    }
+}
+
+/// Whether `e` is a budget exhaustion rather than a genuine failure
+/// (mirrors the planner's own fallback classification).
+fn is_budget_error(e: &pfq_core::CoreError) -> bool {
+    use pfq_core::CoreError;
+    matches!(
+        e,
+        CoreError::Datalog(DatalogError::BudgetExceeded { .. })
+            | CoreError::Chain(pfq_markov::ChainError::StateLimitExceeded { .. })
+            | CoreError::Algebra(pfq_algebra::AlgebraError::WorldLimitExceeded { .. })
+    )
 }
 
 #[cfg(test)]

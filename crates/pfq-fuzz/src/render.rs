@@ -48,6 +48,13 @@ fn query_lines(case: &FuzzCase, check: CheckId, case_seed: u64, burn_in: usize) 
         CheckId::StationaryDifferential | CheckId::PartitionDifferential => {
             vec![format!("@query noninflationary exact event {event}")]
         }
+        // The planner check compares both task families' exact paths;
+        // replaying both directives (plus `pfq plan` on this file)
+        // reproduces every comparison it makes.
+        CheckId::PlannerDifferential => vec![
+            format!("@query inflationary exact event {event}"),
+            format!("@query noninflationary exact event {event}"),
+        ],
         CheckId::BurnInConsistency => vec![
             format!("@query noninflationary exact event {event}"),
             format!(

@@ -1,7 +1,9 @@
 //! The `.pfq` example files in the repository stay valid and produce the
 //! documented exact answers.
 
-use pfq_cli::{render_results, run_file, run_file_with_options, RunOptions};
+use pfq_cli::{
+    plan_file_with_options, render_results, run_file, run_file_with_options, RunOptions,
+};
 use std::path::Path;
 
 fn repo_example(name: &str) -> std::path::PathBuf {
@@ -150,6 +152,75 @@ fn every_example_pfq_matches_golden_output() {
         covered >= 4,
         "expected at least 4 .pfq examples, saw {covered}"
     );
+}
+
+/// `pfq plan` is byte-deterministic — no evaluation runs, no wall
+/// times — so each example's planner analysis is pinned verbatim under
+/// `tests/golden/plan_<stem>.out`. Regenerate after an intentional
+/// planner change with `UPDATE_GOLDEN=1 cargo test --test cli_files`.
+#[test]
+fn example_plans_match_golden_output() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    for stem in ["coloring", "fork", "pagerank"] {
+        let options = RunOptions::default().with_threads(1);
+        let rendered = plan_file_with_options(&repo_example(&format!("{stem}.pfq")), &options)
+            .unwrap_or_else(|e| panic!("pfq plan examples/{stem}.pfq failed: {e}"));
+        let golden_path = golden_dir.join(format!("plan_{stem}.out"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for pfq plan examples/{stem}.pfq ({e}); \
+                 regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+            )
+        });
+        assert_eq!(
+            rendered, golden,
+            "pfq plan examples/{stem}.pfq drifted from tests/golden/plan_{stem}.out; \
+             if intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+        );
+    }
+}
+
+/// `pfq run --explain` attaches the executed plan under each result;
+/// with one worker thread and the file-baked seeds, the whole surface
+/// is golden-pinned (wall times normalized) under
+/// `tests/golden/explain_<stem>.out`.
+#[test]
+fn example_explain_runs_match_golden_output() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    for stem in ["coloring", "fork", "pagerank"] {
+        let options = RunOptions::default().with_threads(1).with_explain(true);
+        let results = run_file_with_options(&repo_example(&format!("{stem}.pfq")), &options)
+            .unwrap_or_else(|e| panic!("examples/{stem}.pfq --explain failed: {e}"));
+        assert!(
+            results.iter().all(|r| r.plan.is_some()),
+            "--explain must attach a plan to every {stem} result"
+        );
+        let rendered = normalize(&render_results(&results));
+        let golden_path = golden_dir.join(format!("explain_{stem}.out"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden for examples/{stem}.pfq --explain ({e}); \
+                 regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+            )
+        });
+        assert_eq!(
+            rendered, golden,
+            "examples/{stem}.pfq --explain drifted from tests/golden/explain_{stem}.out; \
+             if intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test cli_files"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,247 @@
+//! Differential tests for the engine layer: the legacy `evaluate*` free
+//! functions are now thin wrappers over `pfq::lang::engine`, and this
+//! suite proves the rewiring is **bit-identical** — every wrapper is
+//! replayed against the deprecated legacy entry point (which still holds
+//! the original evaluation body) over a seeded fuzz-generated corpus.
+//! Exact paths must agree `Ratio`-for-`Ratio`; sampling paths must agree
+//! to the bit on the same derived seed. Planner properties ride along:
+//! plans are deterministic (cold == warm) and §5.1 partitioning is never
+//! chosen for a program with negation.
+
+// The deprecated entry points are pinned on purpose: they are the legacy
+// surface the engine wrappers must stay bit-identical to.
+#![allow(deprecated)]
+
+use pfq::lang::engine::Planner;
+use pfq::lang::exact_inflationary::{self, ExactBudget};
+use pfq::lang::exact_noninflationary::{self, ChainBudget};
+use pfq::lang::sample_inflationary::{self, hoeffding_sample_count};
+use pfq::lang::sampler::SamplerConfig;
+use pfq::lang::{
+    mixing_sampler, partition, DatalogQuery, Engine, EvalCache, EvalRequest, PlanAction, Strategy,
+};
+use pfq_fuzz::gen::{generate, GenConfig};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NODE_BUDGET: ExactBudget = ExactBudget {
+    node_budget: Some(20_000),
+    world_budget: None,
+};
+const CHAIN_BUDGET: ChainBudget = ChainBudget {
+    max_states: 600,
+    world_limit: 2_048,
+};
+
+/// One seeded fuzz case and the datalog query it induces.
+fn case_query(seed: u64) -> (pfq_fuzz::gen::FuzzCase, DatalogQuery) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let case = generate(&GenConfig::default(), &mut rng);
+    let query = DatalogQuery::new(case.program.clone(), case.event());
+    (case, query)
+}
+
+/// The ≥200-case corpus differential: every engine-routed wrapper versus
+/// its deprecated legacy twin, bit for bit.
+#[test]
+fn wrappers_are_bit_identical_to_legacy_paths_on_fuzz_corpus() {
+    let mut exact_hits = 0usize;
+    let mut chain_hits = 0usize;
+    let mut partition_hits = 0usize;
+    let mut sample_hits = 0usize;
+
+    for i in 0..200u64 {
+        let (case, query) = case_query(0xE47_0000 + i);
+
+        // Prop 4.4 exact tree: wrapper vs the deprecated cached body.
+        let engine_p = exact_inflationary::evaluate(&query, &case.db, NODE_BUDGET);
+        let mut cache = EvalCache::default();
+        let legacy_p =
+            exact_inflationary::evaluate_with_cache(&query, &case.db, NODE_BUDGET, &mut cache);
+        match (engine_p, legacy_p) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "case {i}: exact tree diverged");
+                exact_hits += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("case {i}: one exact-tree path errored: {a:?} vs {b:?}"),
+        }
+
+        // Thm 5.5 exact chain: wrapper vs the deprecated cached body,
+        // under both stationary solvers.
+        if let Ok((fq, prepared)) = query.to_forever_query(&case.db) {
+            let engine_p = exact_noninflationary::evaluate(&fq, &prepared, CHAIN_BUDGET);
+            for method in [
+                pfq::markov::stationary::StationaryMethod::DenseReference,
+                pfq::markov::stationary::StationaryMethod::SparseGth,
+            ] {
+                let mut cache = EvalCache::default();
+                let legacy_p = exact_noninflationary::evaluate_with_cache_and_method(
+                    &fq,
+                    &prepared,
+                    CHAIN_BUDGET,
+                    &mut cache,
+                    method,
+                );
+                match (&engine_p, legacy_p) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(*a, b, "case {i}: exact chain diverged under {method:?}");
+                        chain_hits += 1;
+                    }
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("case {i}: one exact-chain path errored: {a:?} vs {b:?}"),
+                }
+            }
+
+            // §5.1: the partitioned wrapper must still equal the whole
+            // chain (the capability-gap regression lives in pfq-core;
+            // this corpus check covers arbitrary generated programs).
+            if !case.program.has_negation() {
+                if let (Ok(whole), Ok(split)) = (
+                    &engine_p,
+                    partition::evaluate_partitioned(&query, &case.db, CHAIN_BUDGET),
+                ) {
+                    assert_eq!(*whole, split, "case {i}: partitioned diverged");
+                    partition_hits += 1;
+                }
+            }
+
+            // Thm 5.6 restart sampling: the rng-taking wrapper vs the
+            // config primitive with the same derived seed, adaptivity
+            // off on both sides.
+            if i % 4 == 0 {
+                let mut wrapper_rng = ChaCha8Rng::seed_from_u64(0xB1_0000 + i);
+                let mut primitive_rng = wrapper_rng.clone();
+                let est = mixing_sampler::evaluate_with_burn_in(
+                    &fq,
+                    &prepared,
+                    2,
+                    0.2,
+                    0.2,
+                    &mut wrapper_rng,
+                )
+                .unwrap();
+                let config = SamplerConfig {
+                    seed: primitive_rng.gen(),
+                    adaptive: false,
+                    ..SamplerConfig::default()
+                };
+                let report = mixing_sampler::evaluate_with_burn_in_config(
+                    &fq, &prepared, 2, 0.2, 0.2, &config,
+                )
+                .unwrap();
+                assert_eq!(
+                    est.estimate.to_bits(),
+                    report.estimate.to_bits(),
+                    "case {i}: burn-in wrapper diverged from primitive"
+                );
+                assert_eq!(est.samples, report.samples);
+                sample_hits += 1;
+            }
+        }
+
+        // Thm 4.3 sampling: the rng-taking wrapper vs the fixed-count
+        // primitive with the same derived seed.
+        if i % 4 == 0 {
+            let mut wrapper_rng = ChaCha8Rng::seed_from_u64(0xA5_0000 + i);
+            let mut primitive_rng = wrapper_rng.clone();
+            let est = sample_inflationary::evaluate(&query, &case.db, 0.2, 0.2, &mut wrapper_rng)
+                .unwrap();
+            let m = hoeffding_sample_count(0.2, 0.2).unwrap();
+            let report = sample_inflationary::evaluate_with_samples_config(
+                &query,
+                &case.db,
+                m,
+                &SamplerConfig {
+                    seed: primitive_rng.gen(),
+                    adaptive: false,
+                    ..SamplerConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                est.estimate.to_bits(),
+                report.estimate.to_bits(),
+                "case {i}: sampler wrapper diverged from primitive"
+            );
+            assert_eq!(est.samples, report.samples);
+            sample_hits += 1;
+        }
+    }
+
+    // The corpus must actually exercise the paths, not skip its way to
+    // green (budget exhaustion and failed translations are expected on
+    // a minority of cases).
+    assert!(
+        exact_hits >= 150,
+        "only {exact_hits} exact-tree comparisons"
+    );
+    assert!(
+        chain_hits >= 60,
+        "only {chain_hits} exact-chain comparisons"
+    );
+    assert!(
+        partition_hits >= 20,
+        "only {partition_hits} partition comparisons"
+    );
+    assert!(sample_hits >= 40, "only {sample_hits} sampling comparisons");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Plans are deterministic and cache-warmth invariant: planning the
+    /// same request on a cold engine, then again after executing it,
+    /// yields the identical `Plan` (actions *and* notes).
+    #[test]
+    fn plans_are_deterministic(seed in any::<u64>()) {
+        let (case, query) = case_query(seed);
+        for task in 0..2 {
+            let request = if task == 0 {
+                EvalRequest::inflationary(&query, &case.db).with_exact_budget(NODE_BUDGET)
+            } else {
+                EvalRequest::noninflationary(&query, &case.db).with_chain_budget(CHAIN_BUDGET)
+            };
+            let mut engine = Engine::new();
+            let cold = match engine.plan(&request) {
+                Ok(p) => p,
+                Err(_) => continue, // e.g. no non-inflationary translation
+            };
+            prop_assert_eq!(&cold, &engine.plan(&request).unwrap());
+            if cold.action.is_exact() && engine.run(&request).is_ok() {
+                let warm = engine.plan(&request).unwrap();
+                prop_assert_eq!(&cold, &warm);
+            }
+            // A fresh engine agrees with the first one.
+            prop_assert_eq!(&cold, &Engine::new().plan(&request).unwrap());
+        }
+    }
+
+    /// The planner never chooses §5.1 partitioning for a program with
+    /// negation — partitioning requires independence of the provenance
+    /// classes, which negation breaks.
+    #[test]
+    fn negation_is_never_partitioned(seed in any::<u64>()) {
+        let (case, query) = case_query(seed);
+        if !case.program.has_negation() {
+            return Ok(()); // vendored proptest has no prop_assume
+        }
+        let request =
+            EvalRequest::noninflationary(&query, &case.db).with_chain_budget(CHAIN_BUDGET);
+        let mut cache = EvalCache::default();
+        if let Ok(plan) = Planner::plan(&request, &mut cache) {
+            prop_assert!(
+                !matches!(plan.action, PlanAction::Partitioned { .. }),
+                "planner partitioned a negated program: {plan}"
+            );
+            prop_assert!(
+                plan.notes.iter().any(|n| n.contains("negation")),
+                "plan does not explain negation ineligibility: {plan}"
+            );
+        }
+        // Forcing it must be rejected outright.
+        let forced = request.with_strategy(Strategy::Partitioned);
+        prop_assert!(Engine::new().run(&forced).is_err());
+    }
+}
